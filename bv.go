@@ -1,0 +1,28 @@
+package unigen
+
+import "unigen/internal/bitvec"
+
+// BVContext builds word-level (SMT bit-vector style) constraints that
+// bit-blast to CNF with the declared bit-vector variables as the
+// sampling set — the "generators for SMT constraints" direction named
+// in the paper's conclusion. Build expressions with the Context
+// methods, Assert the constraints, then BlastBV and sample.
+type BVContext = bitvec.Context
+
+// BVExpr is a bit-vector (or boolean, width 0) expression.
+type BVExpr = bitvec.Expr
+
+// BVBlasted is a bit-blasted constraint set: a Formula whose sampling
+// set is the bit-vector variables' bits, plus the name → bits map.
+type BVBlasted = bitvec.Blasted
+
+// NewBVContext returns an empty bit-vector constraint context.
+func NewBVContext() *BVContext { return bitvec.NewContext() }
+
+// BlastBV bit-blasts the context's assertions to CNF.
+func BlastBV(c *BVContext) (*BVBlasted, error) { return c.Blast() }
+
+// BVValue decodes variable name from a sampled witness.
+func BVValue(bl *BVBlasted, name string, w Witness) (uint64, error) {
+	return bl.Value(name, w.a)
+}

@@ -1,0 +1,82 @@
+// Command genbench generates the benchmark-family CNF instances of the
+// DAC'14 evaluation (see internal/benchgen) and writes them as DIMACS
+// files with "c ind" sampling-set lines.
+//
+// Usage:
+//
+//	genbench -list
+//	genbench -scale medium -seed 1 -out bench/ Squaring7 s526_3_2
+//	genbench -scale small -out bench/ -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unigen/internal/benchgen"
+	"unigen/internal/cnf"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	all := flag.Bool("all", false, "generate every benchmark")
+	scaleStr := flag.String("scale", "small", "instance scale: small|medium|full")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if *list {
+		for _, sp := range benchgen.Specs() {
+			table := "aux"
+			if sp.Table > 0 {
+				table = fmt.Sprintf("T%d", sp.Table)
+			}
+			fmt.Printf("%-16s %-8s %-4s %s\n", sp.Name, sp.Family, table, sp.Description)
+		}
+		return
+	}
+
+	scale, err := benchgen.ParseScale(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	names := flag.Args()
+	if *all {
+		names = nil
+		for _, sp := range benchgen.Specs() {
+			names = append(names, sp.Name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: genbench [flags] <benchmark>... (or -all / -list)")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		inst, err := benchgen.Generate(name, scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s.cnf", name, scale))
+		file, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cnf.WriteDIMACS(file, inst.F); err != nil {
+			fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s |X|=%-7d |S|=%-3d -> %s\n", name, inst.NumVars, inst.SupportSize, path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genbench:", err)
+	os.Exit(1)
+}

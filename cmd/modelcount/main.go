@@ -1,0 +1,54 @@
+// Command modelcount counts witnesses of a DIMACS CNF formula exactly,
+// either over all variables (-mode full, component-caching #SAT) or
+// projected onto the sampling set (-mode projected, bounded
+// enumeration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"unigen"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "full | projected")
+	limit := flag.Int("limit", 1<<20, "projected-mode enumeration cap")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: modelcount [flags] formula.cnf")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer file.Close()
+	f, err := unigen.ParseDIMACS(file)
+	if err != nil {
+		fatal(err)
+	}
+	switch *mode {
+	case "full":
+		c, err := unigen.ExactCount(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("s mc %v\n", c)
+	case "projected":
+		c, err := unigen.ExactProjectedCount(f, *limit)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("s pmc %v\n", c)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelcount:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command smtsampling samples almost-uniformly from word-level (SMT
+// bit-vector) constraints — the future-work direction named in the
+// DAC'14 conclusion — by bit-blasting them with the bit-vector
+// variables as the sampling set.
+//
+// The constraint models a DMA descriptor: base + len must not wrap,
+// must stay inside a 4 KiB window, len is a nonzero multiple of 4, and
+// base is word-aligned.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"unigen"
+)
+
+func main() {
+	c := unigen.NewBVContext()
+	base := c.Var("base", 12) // offsets within a 4 KiB window
+	length := c.Var("len", 12)
+
+	end := c.Add(base, length)
+
+	c.Assert(c.Ule(base, end)) // no wraparound within the window
+
+	// len != 0, len % 4 == 0, base % 4 == 0.
+	c.Assert(c.BoolNot(c.Eq(length, c.Const(0, 12))))
+	c.Assert(c.Eq(c.And(length, c.Const(3, 12)), c.Const(0, 12)))
+	c.Assert(c.Eq(c.And(base, c.Const(3, 12)), c.Const(0, 12)))
+
+	bl, err := unigen.BlastBV(c)
+	if err != nil {
+		log.Fatalf("blast: %v", err)
+	}
+	fmt.Printf("blasted: %d CNF vars, %d clauses, sampling set %d bits\n",
+		bl.Formula.NumVars, len(bl.Formula.Clauses), len(bl.Formula.SamplingSet))
+
+	s, err := unigen.NewSampler(bl.Formula, unigen.Options{Epsilon: 6, Seed: 3})
+	if err != nil {
+		log.Fatalf("sampler: %v", err)
+	}
+	fmt.Println("almost-uniform DMA descriptors (base, len):")
+	ws, err := s.SampleN(10)
+	if err != nil {
+		log.Fatalf("sample: %v", err)
+	}
+	for _, w := range ws {
+		b, err := unigen.BVValue(bl, "base", w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := unigen.BVValue(bl, "len", w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  base=0x%03x len=%4d end=0x%03x\n", b, l, b+l)
+	}
+	fmt.Printf("stats: %+v\n", s.Stats())
+}

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+// MCMCOptions configures the Markov-chain sampler.
+type MCMCOptions struct {
+	// Steps is the chain length per sample. §3 of the DAC'14 paper:
+	// "convergence is often impractically slow in practice" — short
+	// chains produce measurably non-uniform witnesses (see tests),
+	// which is exactly the criticism reproduced here.
+	Steps int
+	// Temperature of the Metropolis acceptance rule; energy is the
+	// number of violated constraints.
+	Temperature float64
+	// Anneal linearly cools the temperature to ~0 over the chain
+	// (simulated annealing, Kirkpatrick et al. [15]).
+	Anneal bool
+}
+
+// MCMC is a Metropolis–Hastings witness sampler over full assignments
+// with single-variable-flip proposals — the family of samplers the
+// paper's §3 surveys ([16], [26]) and UniGen supersedes.
+type MCMC struct {
+	f    *cnf.Formula
+	opts MCMCOptions
+	// occurrence lists: clause indices per variable, XOR indices per var
+	occC [][]int32
+	occX [][]int32
+}
+
+// NewMCMC builds the sampler.
+func NewMCMC(f *cnf.Formula, opts MCMCOptions) *MCMC {
+	if opts.Steps <= 0 {
+		opts.Steps = 10 * f.NumVars
+	}
+	if opts.Temperature <= 0 {
+		opts.Temperature = 0.6
+	}
+	m := &MCMC{f: f, opts: opts}
+	m.occC = make([][]int32, f.NumVars+1)
+	m.occX = make([][]int32, f.NumVars+1)
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			m.occC[l.Var()] = append(m.occC[l.Var()], int32(i))
+		}
+	}
+	for i, x := range f.XORs {
+		for _, v := range x.Vars {
+			m.occX[v] = append(m.occX[v], int32(i))
+		}
+	}
+	return m
+}
+
+func (m *MCMC) clauseSat(i int32, a cnf.Assignment) bool {
+	for _, l := range m.f.Clauses[i] {
+		if a[l.Var()] != l.Neg() {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *MCMC) xorSat(i int32, a cnf.Assignment) bool {
+	x := m.f.XORs[i]
+	par := false
+	for _, v := range x.Vars {
+		par = par != a[v]
+	}
+	return par == x.RHS
+}
+
+// energy counts violated constraints.
+func (m *MCMC) energy(a cnf.Assignment) int {
+	e := 0
+	for i := range m.f.Clauses {
+		if !m.clauseSat(int32(i), a) {
+			e++
+		}
+	}
+	for i := range m.f.XORs {
+		if !m.xorSat(int32(i), a) {
+			e++
+		}
+	}
+	return e
+}
+
+// deltaEnergy computes the energy change of flipping v.
+func (m *MCMC) deltaEnergy(a cnf.Assignment, v cnf.Var) int {
+	d := 0
+	for _, i := range m.occC[v] {
+		before := m.clauseSat(i, a)
+		a[v] = !a[v]
+		after := m.clauseSat(i, a)
+		a[v] = !a[v]
+		if before && !after {
+			d++
+		} else if !before && after {
+			d--
+		}
+	}
+	// Every XOR containing v flips its status.
+	for _, i := range m.occX[v] {
+		if m.xorSat(i, a) {
+			d++
+		} else {
+			d--
+		}
+	}
+	return d
+}
+
+// Sample runs one chain from a uniform random start and returns the
+// final state if it satisfies the formula, else ErrFailed.
+func (m *MCMC) Sample(rng *randx.RNG) (cnf.Assignment, error) {
+	if m.f.NumVars == 0 {
+		return nil, errors.New("mcmc: empty formula")
+	}
+	a := cnf.NewAssignment(m.f.NumVars)
+	for v := 1; v <= m.f.NumVars; v++ {
+		a[cnf.Var(v)] = rng.Bool()
+	}
+	e := m.energy(a)
+	temp := m.opts.Temperature
+	for step := 0; step < m.opts.Steps; step++ {
+		if m.opts.Anneal {
+			frac := float64(step) / float64(m.opts.Steps)
+			temp = m.opts.Temperature * (1 - frac)
+			if temp < 1e-3 {
+				temp = 1e-3
+			}
+		}
+		v := cnf.Var(rng.Intn(m.f.NumVars) + 1)
+		d := m.deltaEnergy(a, v)
+		if d <= 0 || rng.Float64() < math.Exp(-float64(d)/temp) {
+			a[v] = !a[v]
+			e += d
+		}
+	}
+	if e != 0 {
+		return nil, ErrFailed
+	}
+	return a, nil
+}

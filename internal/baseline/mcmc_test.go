@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+func TestMCMCProducesValidWitnesses(t *testing.T) {
+	f := cnf.New(6)
+	f.AddClause(1, 2)
+	f.AddClause(-3, 4)
+	f.AddXOR([]cnf.Var{5, 6}, true)
+	m := NewMCMC(f, MCMCOptions{Steps: 600})
+	rng := randx.New(121)
+	got := 0
+	for i := 0; i < 100; i++ {
+		a, err := m.Sample(rng)
+		if errors.Is(err, ErrFailed) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Satisfies(f) {
+			t.Fatal("MCMC returned a non-witness")
+		}
+		got++
+	}
+	if got < 50 {
+		t.Fatalf("only %d/100 chains converged", got)
+	}
+}
+
+func TestMCMCAnnealConverges(t *testing.T) {
+	f := cnf.New(8)
+	for v := 1; v <= 7; v++ {
+		f.AddClause(v, v+1)
+	}
+	m := NewMCMC(f, MCMCOptions{Steps: 1500, Temperature: 2, Anneal: true})
+	rng := randx.New(122)
+	got := 0
+	for i := 0; i < 60; i++ {
+		if _, err := m.Sample(rng); err == nil {
+			got++
+		}
+	}
+	if got < 30 {
+		t.Fatalf("annealing converged only %d/60 times", got)
+	}
+}
+
+// TestMCMCSkewOnTwoBasins reproduces the paper's §3 criticism: MCMC
+// with practical chain lengths is measurably non-uniform. The formula
+// chains x1=...=x6 (two basins separated by an energy barrier of
+// equality violations) and pins y1..y4 to 1 whenever the x-block is 0:
+// 16 witnesses in the x=1 basin (free y) and 1 in the x=0 basin.
+// Short single-flip chains freeze into whichever basin the random
+// start favors, so basin mass reflects basin geometry — not witness
+// counts — and the distribution over the 17 witnesses is far from
+// uniform.
+func TestMCMCSkewOnTwoBasins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	f := cnf.New(10) // x = 1..6, y = 7..10
+	for v := 1; v < 6; v++ {
+		f.AddClause(v, -(v + 1))
+		f.AddClause(-v, v+1)
+	}
+	for y := 7; y <= 10; y++ {
+		f.AddClause(1, y)
+	}
+	// Cold chain: boundary flips cost energy 1 and accept with
+	// p = e^{-1/0.15} ≈ 0.001, so 150 steps cannot cross between basins.
+	m := NewMCMC(f, MCMCOptions{Steps: 150, Temperature: 0.15})
+	rng := randx.New(123)
+	const want = 4000
+	counts := map[string]int{}
+	vars := f.SamplingVars()
+	for got := 0; got < want; {
+		a, err := m.Sample(rng)
+		if errors.Is(err, ErrFailed) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[a.Project(vars)]++
+		got++
+	}
+	// TVD from uniform over the 17 witnesses; sampling noise alone at
+	// n=4000 is ~0.02, so 0.15 indicates genuine skew.
+	tvd := 0.0
+	for _, c := range counts {
+		d := float64(c)/want - 1.0/17
+		if d < 0 {
+			d = -d
+		}
+		tvd += d
+	}
+	tvd += float64(17-len(counts)) / 17
+	tvd /= 2
+	if tvd < 0.15 {
+		t.Fatalf("MCMC TVD from uniform = %.3f; expected strong skew (> 0.15)", tvd)
+	}
+}
+
+func TestMCMCUnsatAlwaysFails(t *testing.T) {
+	f := cnf.New(2)
+	f.AddClause(1)
+	f.AddClause(-1)
+	m := NewMCMC(f, MCMCOptions{Steps: 200})
+	rng := randx.New(124)
+	for i := 0; i < 20; i++ {
+		if _, err := m.Sample(rng); err == nil {
+			t.Fatal("MCMC sampled an unsat formula")
+		}
+	}
+}
+
+func TestMCMCDefaults(t *testing.T) {
+	f := cnf.New(4)
+	m := NewMCMC(f, MCMCOptions{})
+	if m.opts.Steps != 40 || m.opts.Temperature != 0.6 {
+		t.Fatalf("defaults = %+v", m.opts)
+	}
+}

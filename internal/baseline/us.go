@@ -1,0 +1,44 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"unigen/internal/cnf"
+	"unigen/internal/counter"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// US is the idealized uniform sampler of §5: determine |R_F| with an
+// exact model counter (the paper uses sharpSAT; we enumerate projected
+// witnesses, which both counts and indexes them), then emulate sampling
+// by drawing a uniform index into R_F. Figure 1 compares UniGen's
+// output histogram against US's.
+type US struct {
+	witnesses []cnf.Assignment
+	samples   int64
+}
+
+// NewUS enumerates all witnesses of f (distinct on the sampling set) up
+// to limit and returns the sampler. It errors if the witness space
+// exceeds limit — US is a reference for small, fully countable spaces.
+func NewUS(f *cnf.Formula, limit int, solver sat.Config) (*US, error) {
+	ws, err := counter.EnumerateProjected(f, limit, solver)
+	if err != nil {
+		return nil, fmt.Errorf("us: %w", err)
+	}
+	if len(ws) == 0 {
+		return nil, errors.New("us: formula is unsatisfiable")
+	}
+	return &US{witnesses: ws}, nil
+}
+
+// Count returns |R_F↓S|.
+func (u *US) Count() int { return len(u.witnesses) }
+
+// Sample returns a uniformly random witness. It never fails.
+func (u *US) Sample(rng *randx.RNG) cnf.Assignment {
+	u.samples++
+	return u.witnesses[rng.Intn(len(u.witnesses))]
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/hashfam"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// XORSampleOptions configures the XORSample′ baseline.
+type XORSampleOptions struct {
+	// S is the number of XOR constraints to conjoin. This is the
+	// "difficult-to-estimate input parameter" the DAC'14 paper
+	// criticizes: the near-uniformity guarantee only holds if S is
+	// chosen correctly relative to the unknown log₂|R_F|.
+	S int
+	// MaxCell caps the enumeration of the chosen cell; a cell larger
+	// than this fails the round (the user chose S too small).
+	MaxCell int
+	// Solver configures BSAT calls.
+	Solver sat.Config
+}
+
+// XORSample implements XORSample′ (Gomes, Sabharwal, Selman; NIPS 2007):
+// conjoin S random XOR constraints over the full support, enumerate the
+// surviving cell completely, and return one of its witnesses uniformly
+// at random. The round fails if the cell is empty or overflows MaxCell.
+type XORSample struct {
+	f    *cnf.Formula
+	opts XORSampleOptions
+
+	samples  int64
+	failures int64
+}
+
+// NewXORSample builds the baseline sampler.
+func NewXORSample(f *cnf.Formula, opts XORSampleOptions) (*XORSample, error) {
+	if opts.S < 0 {
+		return nil, fmt.Errorf("baseline: XORSample S must be non-negative, got %d", opts.S)
+	}
+	if opts.MaxCell <= 0 {
+		opts.MaxCell = 4096
+	}
+	return &XORSample{f: f, opts: opts}, nil
+}
+
+// SuccessProb returns the observed success probability.
+func (x *XORSample) SuccessProb() float64 {
+	tot := x.samples + x.failures
+	if tot == 0 {
+		return 0
+	}
+	return float64(x.samples) / float64(tot)
+}
+
+// Sample draws one witness or fails with ErrFailed.
+func (x *XORSample) Sample(rng *randx.RNG) (cnf.Assignment, error) {
+	fullSupport := make([]cnf.Var, x.f.NumVars)
+	for i := range fullSupport {
+		fullSupport[i] = cnf.Var(i + 1)
+	}
+	h := hashfam.Draw(rng, fullSupport, x.opts.S)
+	res := bsat.Enumerate(x.f, x.opts.MaxCell+1, bsat.Options{
+		SamplingSet: fullSupport,
+		Hash:        h,
+		Solver:      x.opts.Solver,
+	})
+	if res.BudgetExceeded {
+		return nil, fmt.Errorf("xorsample: %w", errBudget)
+	}
+	n := len(res.Witnesses)
+	if n == 0 || n > x.opts.MaxCell {
+		x.failures++
+		return nil, ErrFailed
+	}
+	x.samples++
+	return res.Witnesses[rng.Intn(n)], nil
+}
+
+// ErrIsFailed reports whether err is the round-failure sentinel.
+func ErrIsFailed(err error) bool { return errors.Is(err, ErrFailed) }

@@ -1,0 +1,204 @@
+package bdd
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+func randomCNF(rng *randx.RNG, n, m, k int) *cnf.Formula {
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.MkLit(cnf.Var(rng.Intn(n)+1), rng.Bool()))
+		}
+		f.AddClauseLits(c)
+	}
+	return f
+}
+
+func TestVarAndTerminals(t *testing.T) {
+	b := NewBuilder(3, 0)
+	x, err := b.Var(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := b.Count(x); c.Cmp(big.NewInt(4)) != 0 {
+		t.Fatalf("count(x1) = %v, want 4 (of 8)", c)
+	}
+	nx, err := b.Var(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	andR, err := b.And(x, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if andR != falseRef {
+		t.Fatal("x ∧ ¬x != false")
+	}
+	orR, err := b.Or(x, nx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orR != trueRef {
+		t.Fatal("x ∨ ¬x != true")
+	}
+}
+
+func TestVarOutOfRange(t *testing.T) {
+	b := NewBuilder(2, 0)
+	if _, err := b.Var(3, false); err == nil {
+		t.Fatal("out-of-range var accepted")
+	}
+}
+
+func TestCompileCountMatchesBruteForce(t *testing.T) {
+	rng := randx.New(111)
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(8)
+		f := randomCNF(rng, n, rng.Intn(3*n), 3)
+		if rng.Bool() {
+			var vs []cnf.Var
+			for v := 1; v <= n; v++ {
+				if rng.Bool() {
+					vs = append(vs, cnf.Var(v))
+				}
+			}
+			if len(vs) > 0 {
+				f.AddXOR(vs, rng.Bool())
+			}
+		}
+		b := NewBuilder(n, 0)
+		root, err := b.CompileCNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(sat.BruteForceCount(f))
+		if got := b.Count(root); got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("iter %d: BDD count %v, brute force %d\n%s",
+				iter, got, want, cnf.DIMACSString(f))
+		}
+	}
+}
+
+func TestSamplerUniform(t *testing.T) {
+	// (x1 ∨ x2) over 3 vars: 6 witnesses; sampling must be uniform.
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	b := NewBuilder(3, 0)
+	root, err := b.CompileCNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.NewSampler(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(112)
+	counts := map[string]int{}
+	const n = 6000
+	vars := f.SamplingVars()
+	for i := 0; i < n; i++ {
+		a := s.Sample(rng)
+		if !a.Satisfies(f) {
+			t.Fatal("BDD sample violates formula")
+		}
+		counts[a.Project(vars)]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("distinct = %d, want 6", len(counts))
+	}
+	for _, c := range counts {
+		if math.Abs(float64(c)-n/6.0) > 6*math.Sqrt(n/6.0) {
+			t.Fatalf("count %d far from uniform %d", c, n/6)
+		}
+	}
+}
+
+func TestSamplerValidityRandom(t *testing.T) {
+	rng := randx.New(113)
+	for iter := 0; iter < 40; iter++ {
+		n := 3 + rng.Intn(6)
+		f := randomCNF(rng, n, rng.Intn(2*n), 3)
+		b := NewBuilder(n, 0)
+		root, err := b.CompileCNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root == falseRef {
+			continue
+		}
+		s, err := b.NewSampler(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 20; k++ {
+			if a := s.Sample(rng); !a.Satisfies(f) {
+				t.Fatalf("iter %d: invalid sample", iter)
+			}
+		}
+	}
+}
+
+func TestSamplerRejectsUnsat(t *testing.T) {
+	b := NewBuilder(1, 0)
+	if _, err := b.NewSampler(falseRef); err == nil {
+		t.Fatal("unsat sampler accepted")
+	}
+}
+
+func TestNodeLimitBlowup(t *testing.T) {
+	// A dense XOR ladder with an adversarial order still fits; instead
+	// force blow-up with a tiny limit.
+	rng := randx.New(114)
+	f := randomCNF(rng, 30, 90, 3)
+	b := NewBuilder(30, 50)
+	_, err := b.CompileCNF(f)
+	if err == nil {
+		t.Skip("formula too easy to blow a 50-node limit")
+	}
+	if !errors.Is(err, ErrBlowup) {
+		t.Fatalf("err = %v, want ErrBlowup", err)
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder(4, 0)
+	x1, _ := b.Var(1, false)
+	x2, _ := b.Var(2, false)
+	a1, err := b.And(x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.NumNodes()
+	a2, err := b.And(x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 || b.NumNodes() != before {
+		t.Fatal("hash consing failed: duplicate nodes created")
+	}
+}
+
+func TestUniformBigBounds(t *testing.T) {
+	rng := randx.New(115)
+	n := big.NewInt(1000)
+	seen := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		x := uniformBig(rng, n)
+		if x.Sign() < 0 || x.Cmp(n) >= 0 {
+			t.Fatalf("uniformBig out of range: %v", x)
+		}
+		seen[x.Int64()] = true
+	}
+	if len(seen) < 950 {
+		t.Fatalf("only %d distinct values of 1000", len(seen))
+	}
+}

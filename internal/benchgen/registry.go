@@ -1,0 +1,245 @@
+package benchgen
+
+// registry lists every benchmark analogue. Full-scale dimensions track
+// the paper's reported |S| (column 3 of Tables 1–2); small/medium keep
+// tests and benchmarks laptop-fast. Descriptions name the original
+// benchmark being mirrored.
+
+func seqDims(small, medium, full seqParams) map[Scale]seqParams {
+	return map[Scale]seqParams{ScaleSmall: small, ScaleMedium: medium, ScaleFull: full}
+}
+
+func sketchDims(small, medium, full sketchParams) map[Scale]sketchParams {
+	return map[Scale]sketchParams{ScaleSmall: small, ScaleMedium: medium, ScaleFull: full}
+}
+
+var registry = []Spec{
+	// --- Figure 1 instance -------------------------------------------
+	{
+		Name: "case110", Family: "case", Table: 0,
+		Description: "free-input circuit with |R_F| = 2^14 = 16384 witnesses (Figure 1)",
+		build:       buildCase(14, 120),
+	},
+	// --- Table 2 case* rows ------------------------------------------
+	{
+		Name: "Case121", Family: "case", Table: 2,
+		Description: "free-input circuit, |S|=12/24/48 by scale (paper: 291 vars, |S|=48)",
+		build:       caseScaled(dims{12, 20, 48}, dims{60, 120, 240}),
+	},
+	{
+		Name: "Case1_b11_1", Family: "case", Table: 2,
+		Description: "free-input circuit (paper: 340 vars, |S|=48)",
+		build:       caseScaled(dims{12, 20, 48}, dims{80, 140, 290}),
+	},
+	{
+		Name: "Case2_b12_2", Family: "case", Table: 2,
+		Description: "free-input circuit (paper: 827 vars, |S|=45)",
+		build:       caseScaled(dims{11, 20, 45}, dims{120, 300, 780}),
+	},
+	{
+		Name: "Case35", Family: "case", Table: 2,
+		Description: "free-input circuit (paper: 400 vars, |S|=46)",
+		build:       caseScaled(dims{11, 18, 46}, dims{90, 160, 350}),
+	},
+	// --- Squaring miters ----------------------------------------------
+	{
+		Name: "Squaring1", Family: "squaring", Table: 2,
+		Description: "(a+b)² ≡ a²+2ab+b² miter (paper: 891 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 0),
+	},
+	{
+		Name: "Squaring7", Family: "squaring", Table: 1,
+		Description: "squaring miter + 1 parity condition (paper: 1628 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 1),
+	},
+	{
+		Name: "squaring8", Family: "squaring", Table: 1,
+		Description: "squaring miter + 2 parity conditions (paper: 1101 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 2),
+	},
+	{
+		Name: "Squaring9", Family: "squaring", Table: 2,
+		Description: "squaring miter + 3 parity conditions (paper: 1434 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 3),
+	},
+	{
+		Name: "Squaring10", Family: "squaring", Table: 1,
+		Description: "squaring miter + 2 parity conditions (paper: 1099 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 2),
+	},
+	{
+		Name: "Squaring12", Family: "squaring", Table: 2,
+		Description: "squaring miter + 4 parity conditions (paper: 1507 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 4),
+	},
+	{
+		Name: "Squaring14", Family: "squaring", Table: 2,
+		Description: "squaring miter + 4 parity conditions (paper: 1458 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 4),
+	},
+	{
+		Name: "Squaring16", Family: "squaring", Table: 2,
+		Description: "squaring miter + 5 parity conditions (paper: 1627 vars, |S|=72)",
+		build:       buildSquaring(dims{6, 12, 36}, 5),
+	},
+	// --- ISCAS89-style sequential circuits with parity conditions -----
+	{
+		Name: "s526_3_2", Family: "iscas", Table: 2,
+		Description: "s526-style netlist, parity on 3 subsets (paper: 365 vars, |S|=24)",
+		build: buildSeqParity(seqDims(
+			seqParams{6, 4, 40, 2, 3},
+			seqParams{8, 6, 80, 2, 3},
+			seqParams{12, 21, 160, 2, 3})),
+	},
+	{
+		Name: "s526a_3_2", Family: "iscas", Table: 2,
+		Description: "s526a-style netlist (paper: 366 vars, |S|=24)",
+		build: buildSeqParity(seqDims(
+			seqParams{6, 4, 42, 2, 3},
+			seqParams{8, 6, 84, 2, 3},
+			seqParams{12, 21, 164, 2, 3})),
+	},
+	{
+		Name: "s526_15_7", Family: "iscas", Table: 2,
+		Description: "s526-style netlist, parity on 15 subsets (paper: 452 vars, |S|=24)",
+		build: buildSeqParity(seqDims(
+			seqParams{6, 4, 40, 2, 6},
+			seqParams{8, 6, 80, 2, 10},
+			seqParams{12, 21, 160, 2, 15})),
+	},
+	{
+		Name: "s953a_3_2", Family: "iscas", Table: 1,
+		Description: "s953-style netlist (paper: 515 vars, |S|=45)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 5, 60, 2, 3},
+			seqParams{10, 8, 120, 2, 3},
+			seqParams{15, 29, 220, 3, 3})),
+	},
+	{
+		Name: "s1196a_7_4", Family: "iscas", Table: 1,
+		Description: "s1196-style netlist (paper: 708 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 70, 2, 4},
+			seqParams{10, 6, 150, 2, 5},
+			seqParams{16, 18, 300, 2, 7})),
+	},
+	{
+		Name: "s1196a_3_2", Family: "iscas", Table: 2,
+		Description: "s1196-style netlist, lighter parity (paper: 690 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 70, 2, 2},
+			seqParams{10, 6, 150, 2, 3},
+			seqParams{16, 18, 295, 2, 3})),
+	},
+	{
+		Name: "s1196a_15_7", Family: "iscas", Table: 2,
+		Description: "s1196-style netlist, heavier parity (paper: 777 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 70, 2, 7},
+			seqParams{10, 6, 150, 2, 10},
+			seqParams{16, 18, 320, 2, 15})),
+	},
+	{
+		Name: "s1238a_7_4", Family: "iscas", Table: 1,
+		Description: "s1238-style netlist (paper: 704 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 72, 2, 4},
+			seqParams{10, 6, 152, 2, 5},
+			seqParams{16, 18, 300, 2, 7})),
+	},
+	{
+		Name: "s1238a_3_2", Family: "iscas", Table: 2,
+		Description: "s1238-style netlist, lighter parity (paper: 686 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 72, 2, 2},
+			seqParams{10, 6, 152, 2, 3},
+			seqParams{16, 18, 292, 2, 3})),
+	},
+	{
+		Name: "s1238a_15_7", Family: "iscas", Table: 2,
+		Description: "s1238-style netlist, heavier parity (paper: 773 vars, |S|=32)",
+		build: buildSeqParity(seqDims(
+			seqParams{7, 4, 72, 2, 7},
+			seqParams{10, 6, 152, 2, 10},
+			seqParams{16, 18, 330, 2, 15})),
+	},
+	// --- sketch/program-synthesis-style benchmarks --------------------
+	{
+		Name: "EnqueueSeqSK", Family: "sketch", Table: 1,
+		Description: "queue-pipeline sketch analogue (paper: 16466 vars, |S|=42)",
+		build: buildSketch(sketchDims(
+			sketchParams{10, 3, 8, 4, 2},
+			sketchParams{20, 4, 12, 10, 2},
+			sketchParams{42, 6, 21, 40, 2}), "pipeline"),
+	},
+	{
+		Name: "LoginService2", Family: "sketch", Table: 1,
+		Description: "service-pipeline sketch analogue (paper: 11511 vars, |S|=36)",
+		build: buildSketch(sketchDims(
+			sketchParams{10, 3, 8, 3, 1},
+			sketchParams{18, 4, 12, 8, 1},
+			sketchParams{36, 6, 18, 30, 1}), "pipeline"),
+	},
+	{
+		Name: "LLReverse", Family: "sketch", Table: 1,
+		Description: "linked-list double-reverse identity (paper: 63797 vars, |S|=25)",
+		build: buildSketch(sketchDims(
+			sketchParams{9, 3, 6, 4, 0},
+			sketchParams{15, 4, 10, 12, 0},
+			sketchParams{25, 5, 25, 60, 0}), "reverse"),
+	},
+	{
+		Name: "Sort", Family: "sketch", Table: 1,
+		Description: "sorting-network sortedness sketch (paper: 12125 vars, |S|=52)",
+		build: buildSketch(sketchDims(
+			sketchParams{10, 4, 5, 0, 2},
+			sketchParams{20, 5, 8, 0, 2},
+			sketchParams{52, 8, 13, 0, 2}), "sort"),
+	},
+	{
+		Name: "TreeMax", Family: "sketch", Table: 2,
+		Description: "tree max-reduction sketch (paper: 24859 vars, |S|=19)",
+		build: buildSketch(sketchDims(
+			sketchParams{8, 4, 4, 0, 0},
+			sketchParams{12, 6, 8, 0, 0},
+			sketchParams{19, 8, 19, 0, 0}), "max"),
+	},
+	{
+		Name: "ProcessBean", Family: "sketch", Table: 2,
+		Description: "service-pipeline sketch analogue (paper: 4768 vars, |S|=64)",
+		build: buildSketch(sketchDims(
+			sketchParams{11, 3, 8, 3, 3},
+			sketchParams{22, 4, 11, 6, 3},
+			sketchParams{64, 4, 16, 10, 3}), "pipeline"),
+	},
+	{
+		Name: "ProjectService3", Family: "sketch", Table: 2,
+		Description: "service-pipeline sketch analogue (paper: 3175 vars, |S|=55)",
+		build: buildSketch(sketchDims(
+			sketchParams{11, 3, 7, 2, 2},
+			sketchParams{22, 4, 11, 5, 2},
+			sketchParams{55, 5, 11, 8, 2}), "pipeline"),
+	},
+	{
+		Name: "tutorial3", Family: "sketch", Table: 1,
+		Description: "deep tutorial sketch analogue (paper: 486193 vars, |S|=31)",
+		build: buildSketch(sketchDims(
+			sketchParams{9, 3, 6, 6, 1},
+			sketchParams{16, 4, 16, 30, 1},
+			sketchParams{31, 8, 31, 600, 1}), "pipeline"),
+	},
+	// --- Arithmetic equivalence ---------------------------------------
+	{
+		Name: "Karatsuba", Family: "arith", Table: 1,
+		Description: "Karatsuba vs array multiplier miter (paper: 19594 vars, |S|=41)",
+		build:       buildKaratsuba(dims{5, 10, 20}),
+	},
+}
+
+// caseScaled builds a case-family generator whose input and gate counts
+// vary with scale.
+func caseScaled(inputs, gates dims) func(Scale, uint64) (*Instance, error) {
+	return func(scale Scale, seed uint64) (*Instance, error) {
+		return buildCase(inputs.at(scale), gates.at(scale))(scale, seed)
+	}
+}

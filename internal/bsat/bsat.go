@@ -1,0 +1,107 @@
+// Package bsat implements the BSAT(F, N) subroutine of UniGen and
+// ApproxMC: bounded model enumeration returning up to N witnesses of F
+// that are distinct on the sampling set.
+//
+// Following the DAC'14 implementation notes (§4, "Implementation
+// issues"), blocking clauses are restricted to the sampling-set
+// variables: because the sampling set is an independent support, two
+// witnesses agreeing on it are the same witness for counting and
+// sampling purposes, and short blocking clauses keep the solver fast.
+package bsat
+
+import (
+	"unigen/internal/cnf"
+	"unigen/internal/hashfam"
+	"unigen/internal/sat"
+)
+
+// Result is the outcome of a bounded enumeration call.
+type Result struct {
+	// Witnesses holds up to N witnesses, distinct on the sampling set.
+	Witnesses []cnf.Assignment
+	// Exhausted is true when the enumeration proved there are no further
+	// witnesses (the final solver call returned UNSAT), i.e.
+	// len(Witnesses) = |R_F↓S| when len(Witnesses) < N.
+	Exhausted bool
+	// BudgetExceeded is true when a solver call ran out of conflict
+	// budget; the reproduction's analogue of the paper's 2500-second
+	// BSAT timeout. Witnesses found before exhaustion are still
+	// returned.
+	BudgetExceeded bool
+	// Stats aggregates solver statistics for the call.
+	Stats sat.Stats
+}
+
+// Options configures enumeration.
+type Options struct {
+	// SamplingSet restricts blocking clauses (and witness distinctness)
+	// to these variables. Empty means all variables of the formula.
+	SamplingSet []cnf.Var
+	// Hash, when non-nil, conjoins random XOR constraints
+	// h(samplingVars) = α to the formula for this call only.
+	Hash *hashfam.Hash
+	// Solver configuration (conflict budget, Gauss-Jordan, seed).
+	Solver sat.Config
+}
+
+// Enumerate returns up to n witnesses of f (conjoined with opts.Hash if
+// set), pairwise distinct on the sampling set.
+func Enumerate(f *cnf.Formula, n int, opts Options) Result {
+	vars := opts.SamplingSet
+	if len(vars) == 0 {
+		vars = f.SamplingVars()
+	}
+	solverCfg := opts.Solver
+	if len(solverCfg.PriorityVars) == 0 && len(vars) < f.NumVars {
+		// Branch on the sampling set first: for Tseitin-style formulas
+		// the rest of the assignment then follows by propagation, which
+		// makes enumeration nearly conflict-free.
+		solverCfg.PriorityVars = vars
+	}
+	s := sat.New(f, solverCfg)
+	if opts.Hash != nil {
+		// Hash rows go straight into the solver rather than onto a clone
+		// of the formula: BSAT is called thousands of times per sampling
+		// session and the clone dominated its cost.
+		for _, r := range opts.Hash.Rows {
+			if !s.AddXOR(r.Vars, r.RHS) {
+				return Result{Exhausted: true, Stats: s.Stats()}
+			}
+		}
+	}
+	var res Result
+	for len(res.Witnesses) < n {
+		switch s.Solve() {
+		case sat.Sat:
+			m := s.Model()
+			res.Witnesses = append(res.Witnesses, m)
+			block := make(cnf.Clause, 0, len(vars))
+			for _, v := range vars {
+				block = append(block, cnf.MkLit(v, m.Get(v)))
+			}
+			if !s.AddClause(block) {
+				res.Exhausted = true
+				res.Stats = s.Stats()
+				return res
+			}
+		case sat.Unsat:
+			res.Exhausted = true
+			res.Stats = s.Stats()
+			return res
+		default:
+			res.BudgetExceeded = true
+			res.Stats = s.Stats()
+			return res
+		}
+	}
+	res.Stats = s.Stats()
+	return res
+}
+
+// Count returns min(|R_F↓S|, n): the number of sampling-set-distinct
+// witnesses up to the bound n. It is the |Y| quantity tested against
+// hiThresh/loThresh in Algorithm 1.
+func Count(f *cnf.Formula, n int, opts Options) (int, Result) {
+	res := Enumerate(f, n, opts)
+	return len(res.Witnesses), res
+}

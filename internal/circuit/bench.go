@@ -1,0 +1,282 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS89 ".bench" format — the
+// format of the sequential benchmark circuits (s526, s953, s1196,
+// s1238, ...) the DAC'14 evaluation derives its parity-constrained
+// instances from:
+//
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G11 = NAND(G0, G10)
+//	G16 = NOT(G11)
+//
+// Variadic AND/OR/NAND/NOR/XOR are folded into gate trees. DFF
+// elements become latches (reset value 0). It returns the circuit and
+// the signal name table.
+func ParseBench(r io.Reader) (*Circuit, map[string]Sig, error) {
+	type rawGate struct {
+		name string
+		fn   string
+		args []string
+		line int
+	}
+	var raws []rawGate
+	var inputs, outputs []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT("):
+			name, err := parenArg(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, name)
+		case strings.HasPrefix(upper, "OUTPUT("):
+			name, err := parenArg(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, name)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, nil, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, nil, fmt.Errorf("bench line %d: malformed gate %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					args = append(args, a)
+				}
+			}
+			raws = append(raws, rawGate{name: name, fn: fn, args: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	b := NewBuilder()
+	sigs := map[string]Sig{}
+	for _, in := range inputs {
+		sigs[in] = b.Input()
+	}
+	// DFF outputs exist before their inputs are defined: declare loops.
+	setters := map[string]func(Sig){}
+	for _, g := range raws {
+		if g.fn == "DFF" {
+			q, set := b.LatchLoop()
+			sigs[g.name] = q
+			setters[g.name] = set
+		}
+	}
+	// Topologically instantiate combinational gates (name-driven DFS).
+	byName := map[string]rawGate{}
+	for _, g := range raws {
+		byName[g.name] = g
+	}
+	var build func(name string, stack map[string]bool) (Sig, error)
+	build = func(name string, stack map[string]bool) (Sig, error) {
+		if s, ok := sigs[name]; ok {
+			return s, nil
+		}
+		g, ok := byName[name]
+		if !ok {
+			return 0, fmt.Errorf("bench: undefined signal %q", name)
+		}
+		if stack[name] {
+			return 0, fmt.Errorf("bench: combinational cycle through %q", name)
+		}
+		stack[name] = true
+		defer delete(stack, name)
+		var args []Sig
+		for _, a := range g.args {
+			s, err := build(a, stack)
+			if err != nil {
+				return 0, err
+			}
+			args = append(args, s)
+		}
+		s, err := instantiate(b, g.fn, args)
+		if err != nil {
+			return 0, fmt.Errorf("bench line %d: %v", g.line, err)
+		}
+		sigs[name] = s
+		return s, nil
+	}
+	for _, g := range raws {
+		if g.fn == "DFF" {
+			continue
+		}
+		if _, err := build(g.name, map[string]bool{}); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, g := range raws {
+		if g.fn != "DFF" {
+			continue
+		}
+		if len(g.args) != 1 {
+			return nil, nil, fmt.Errorf("bench line %d: DFF takes 1 argument", g.line)
+		}
+		d, err := build(g.args[0], map[string]bool{})
+		if err != nil {
+			return nil, nil, err
+		}
+		setters[g.name](d)
+	}
+	for _, o := range outputs {
+		s, err := build(o, map[string]bool{})
+		if err != nil {
+			return nil, nil, err
+		}
+		b.Output(s)
+	}
+	return b.Build(), sigs, nil
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : close])
+	if name == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return name, nil
+}
+
+func instantiate(b *Builder, fn string, args []Sig) (Sig, error) {
+	fold := func(f func(a, c Sig) Sig) (Sig, error) {
+		if len(args) < 2 {
+			return 0, fmt.Errorf("%s needs >= 2 arguments", fn)
+		}
+		acc := args[0]
+		for _, a := range args[1:] {
+			acc = f(acc, a)
+		}
+		return acc, nil
+	}
+	switch fn {
+	case "AND":
+		return fold(b.And)
+	case "OR":
+		return fold(b.Or)
+	case "XOR":
+		return fold(b.Xor)
+	case "NAND":
+		s, err := fold(b.And)
+		if err != nil {
+			return 0, err
+		}
+		return b.Not(s), nil
+	case "NOR":
+		s, err := fold(b.Or)
+		if err != nil {
+			return 0, err
+		}
+		return b.Not(s), nil
+	case "XNOR":
+		s, err := fold(b.Xor)
+		if err != nil {
+			return 0, err
+		}
+		return b.Not(s), nil
+	case "NOT":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("NOT takes 1 argument")
+		}
+		return b.Not(args[0]), nil
+	case "BUF", "BUFF":
+		if len(args) != 1 {
+			return 0, fmt.Errorf("%s takes 1 argument", fn)
+		}
+		return b.Buf(args[0]), nil
+	default:
+		return 0, fmt.Errorf("unknown gate function %q", fn)
+	}
+}
+
+// WriteBench serializes a circuit in .bench format. Signal names are
+// synthesized as G<index>; latches become DFFs.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	name := func(s Sig) string { return fmt.Sprintf("G%d", s) }
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", name(in))
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", name(o))
+	}
+	latchQ := map[Sig]bool{}
+	for _, l := range c.Latches {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", name(l.Q), name(l.D))
+		latchQ[l.Q] = true
+	}
+	// Deterministic order.
+	order := make([]int, 0, len(c.Gates))
+	for s := range c.Gates {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+	for _, s := range order {
+		g := c.Gates[s]
+		sig := Sig(s)
+		switch g.Kind {
+		case KindInput:
+			// primary input or DFF output: already declared
+			if !latchQ[sig] {
+				continue
+			}
+		case KindConst:
+			// .bench has no constants: encode as XOR(x,x)/XNOR(x,x) over
+			// the first input if available, else skip (rare).
+			if len(c.Inputs) > 0 {
+				in := name(c.Inputs[0])
+				if g.In[0] == 1 {
+					fmt.Fprintf(bw, "%s = XNOR(%s, %s)\n", name(sig), in, in)
+				} else {
+					fmt.Fprintf(bw, "%s = XOR(%s, %s)\n", name(sig), in, in)
+				}
+			}
+		case KindNot:
+			fmt.Fprintf(bw, "%s = NOT(%s)\n", name(sig), name(g.In[0]))
+		case KindBuf:
+			fmt.Fprintf(bw, "%s = BUFF(%s)\n", name(sig), name(g.In[0]))
+		case KindAnd:
+			fmt.Fprintf(bw, "%s = AND(%s, %s)\n", name(sig), name(g.In[0]), name(g.In[1]))
+		case KindOr:
+			fmt.Fprintf(bw, "%s = OR(%s, %s)\n", name(sig), name(g.In[0]), name(g.In[1]))
+		case KindXor:
+			fmt.Fprintf(bw, "%s = XOR(%s, %s)\n", name(sig), name(g.In[0]), name(g.In[1]))
+		}
+	}
+	return bw.Flush()
+}

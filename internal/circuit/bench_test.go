@@ -1,0 +1,166 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+const s27ish = `# toy sequential netlist in ISCAS89 .bench style
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G10 = NAND(G0, G5)
+G11 = NOR(G1, G6)
+G14 = NOT(G2)
+G16 = OR(G14, G10)
+G17 = AND(G16, G11)
+`
+
+func TestParseBenchStructure(t *testing.T) {
+	c, names, err := ParseBench(strings.NewReader(s27ish))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 3 {
+		t.Fatalf("inputs = %d, want 3", len(c.Inputs))
+	}
+	if len(c.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1", len(c.Outputs))
+	}
+	if len(c.Latches) != 2 {
+		t.Fatalf("latches = %d, want 2", len(c.Latches))
+	}
+	for _, n := range []string{"G0", "G5", "G10", "G17"} {
+		if _, ok := names[n]; !ok {
+			t.Fatalf("missing signal %s", n)
+		}
+	}
+}
+
+func TestParseBenchSimulation(t *testing.T) {
+	c, names, err := ParseBench(strings.NewReader(s27ish))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With latches at reset (0): G10 = NAND(G0,0) = 1, G11 = NOR(G1,0) =
+	// ¬G1, G14 = ¬G2, G16 = G14 ∨ G10 = 1, G17 = G16 ∧ G11 = ¬G1.
+	for _, tc := range []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{false, false, false}, true},
+		{[]bool{false, true, false}, false},
+		{[]bool{true, true, true}, false},
+		{[]bool{true, false, true}, true},
+	} {
+		vals, err := c.Eval(tc.in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := vals[names["G17"]]; got != tc.want {
+			t.Fatalf("in=%v: G17 = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseBenchVariadicGates(t *testing.T) {
+	src := `INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(Z)
+Z = AND(A, B, C)
+`
+	c, names, err := ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		vals, _ := c.Eval(in, nil)
+		want := in[0] && in[1] && in[2]
+		if vals[names["Z"]] != want {
+			t.Fatalf("AND3(%v) = %v", in, vals[names["Z"]])
+		}
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	bad := []string{
+		"INPUT(\n",                           // malformed declaration
+		"Z = AND(A)\nOUTPUT(Z)\n",            // undefined operand + arity
+		"OUTPUT(Z)\nZ = FROB(A)\nINPUT(A)\n", // unknown gate
+		"INPUT(A)\nOUTPUT(Z)\nZ = NOT(Z)\n",  // combinational cycle
+	}
+	for _, src := range bad {
+		if _, _, err := ParseBench(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	c, _, err := ParseBench(strings.NewReader(s27ish))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := ParseBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if len(c2.Inputs) != len(c.Inputs) || len(c2.Latches) != len(c.Latches) ||
+		len(c2.Outputs) != len(c.Outputs) {
+		t.Fatal("round trip changed interface")
+	}
+	// Behavioral equivalence over a few cycles and all inputs.
+	for mask := 0; mask < 8; mask++ {
+		in := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		s1 := make([]bool, len(c.Latches))
+		s2 := make([]bool, len(c2.Latches))
+		for cycle := 0; cycle < 4; cycle++ {
+			o1, n1, err := c.Step(in, s1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, n2, err := c2.Step(in, s2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range o1 {
+				if o1[i] != o2[i] {
+					t.Fatalf("mask %d cycle %d: outputs differ", mask, cycle)
+				}
+			}
+			s1, s2 = n1, n2
+		}
+	}
+}
+
+func TestBenchUnrollAndEncode(t *testing.T) {
+	// End-to-end: .bench netlist → unroll → Tseitin → sampling set =
+	// the unrolled primary inputs (the paper's ISCAS89 pipeline).
+	c, _, err := ParseBench(strings.NewReader(s27ish))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Unroll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Encode(u, EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.InputVars) != 9 { // 3 inputs × 3 frames
+		t.Fatalf("input vars = %d, want 9", len(enc.InputVars))
+	}
+	if len(enc.Formula.SamplingSet) != 9 {
+		t.Fatalf("sampling set = %d, want 9", len(enc.Formula.SamplingSet))
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+func TestSampleBatchEasyCase(t *testing.T) {
+	f := cnf.New(2)
+	f.AddClause(1, 2) // 3 witnesses
+	rng := randx.New(81)
+	smp, err := NewSampler(f, rng, Options{Epsilon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := smp.SampleBatch(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 { // capped at |R_F|
+		t.Fatalf("batch = %d, want 3", len(ws))
+	}
+	seen := map[string]bool{}
+	vars := f.SamplingVars()
+	for _, w := range ws {
+		if !w.Satisfies(f) {
+			t.Fatal("invalid witness")
+		}
+		k := w.Project(vars)
+		if seen[k] {
+			t.Fatal("duplicate in batch")
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleBatchHashingPath(t *testing.T) {
+	f := hardFormula()
+	rng := randx.New(82)
+	smp, err := NewSampler(f, rng, Options{Epsilon: 6, ApproxMCRounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []cnf.Assignment
+	for try := 0; try < 20 && got == nil; try++ {
+		ws, err := smp.SampleBatch(rng, 8)
+		if errors.Is(err, ErrFailed) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = ws
+	}
+	if len(got) != 8 {
+		t.Fatalf("batch = %d, want 8", len(got))
+	}
+	seen := map[string]bool{}
+	for _, w := range got {
+		if !w.Satisfies(f) {
+			t.Fatal("invalid witness")
+		}
+		k := w.Project(f.SamplingSet)
+		if seen[k] {
+			t.Fatal("duplicate in batch")
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleBatchRejectsBadK(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(1)
+	rng := randx.New(83)
+	smp, err := NewSampler(f, rng, Options{Epsilon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smp.SampleBatch(rng, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSampleBatchUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	rng := randx.New(84)
+	smp, err := NewSampler(f, rng, Options{Epsilon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smp.SampleBatch(rng, 4); err == nil {
+		t.Fatal("unsat batch accepted")
+	}
+}

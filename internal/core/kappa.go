@@ -1,0 +1,63 @@
+// Package core implements UniGen (Algorithm 1 of the DAC 2014 paper),
+// the almost-uniform SAT-witness generator that is this repository's
+// primary subject, together with ComputeKappaPivot (Algorithm 2) and the
+// amortized per-formula state that makes repeated sampling cheap
+// (lines 1–11 of Algorithm 1 execute once per formula; each sample
+// re-runs only lines 12–22).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinEpsilon is the smallest admissible tolerance. For ε ≤ 1.71 no
+// κ ∈ [0,1) satisfies ε = (1+κ)(2.23 + 0.48/(1−κ)²) − 1 (the κ→0 limit
+// of the right-hand side is 1.71), which is why Algorithm 1 requires
+// ε > 1.71 "for technical reasons explained in the Appendix".
+const MinEpsilon = 1.71
+
+// KappaPivot holds the derived parameters of Algorithm 2 plus the cell
+// thresholds computed from them in lines 2–3 of Algorithm 1.
+type KappaPivot struct {
+	Kappa    float64
+	Pivot    int
+	HiThresh int     // 1 + (1+κ)·pivot, rounded down (cell upper bound)
+	LoThresh float64 // pivot/(1+κ) (cell lower bound)
+}
+
+// epsilonOf evaluates the DAC'14 tolerance expression
+// ε(κ) = (1+κ)(2.23 + 0.48/(1−κ)²) − 1, which is strictly increasing
+// on [0, 1).
+func epsilonOf(kappa float64) float64 {
+	return (1+kappa)*(2.23+0.48/((1-kappa)*(1-kappa))) - 1
+}
+
+// ComputeKappaPivot implements Algorithm 2: find κ ∈ [0,1) such that
+// ε = (1+κ)(2.23 + 0.48/(1−κ)²) − 1, then pivot = ⌈3√e·(1+1/κ)²⌉.
+// It returns an error for ε ≤ MinEpsilon.
+func ComputeKappaPivot(epsilon float64) (KappaPivot, error) {
+	if epsilon <= MinEpsilon {
+		return KappaPivot{}, fmt.Errorf("core: epsilon must exceed %v, got %v", MinEpsilon, epsilon)
+	}
+	// ε(κ) is continuous and strictly increasing on [0,1) with
+	// ε(0)=1.71 and ε(κ)→∞ as κ→1, so bisection converges.
+	lo, hi := 0.0, 1.0-1e-12
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if epsilonOf(mid) < epsilon {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	kappa := (lo + hi) / 2
+	pivot := int(math.Ceil(3 * math.Sqrt(math.E) * (1 + 1/kappa) * (1 + 1/kappa)))
+	kp := KappaPivot{
+		Kappa:    kappa,
+		Pivot:    pivot,
+		HiThresh: int(1 + (1+kappa)*float64(pivot)),
+		LoThresh: float64(pivot) / (1 + kappa),
+	}
+	return kp, nil
+}

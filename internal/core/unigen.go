@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/counter"
+	"unigen/internal/hashfam"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// ErrFailed is returned by Sample when UniGen reports ⊥: no cell in the
+// candidate range {q−3..q} had between loThresh and hiThresh witnesses.
+// Theorem 1 bounds the probability of this outcome by 0.38.
+var ErrFailed = errors.New("unigen: sampling round failed (⊥)")
+
+// ErrBudget is returned when BSAT repeatedly exhausted its conflict
+// budget — the analogue of the paper's 20-hour overall timeout firing.
+var ErrBudget = errors.New("unigen: BSAT conflict budget exhausted")
+
+// Options configures a Sampler.
+type Options struct {
+	// Epsilon is the uniformity tolerance; must exceed 1.71. The
+	// DAC'14 experiments use ε = 6.
+	Epsilon float64
+	// SamplingSet is the set S of sampling variables, intended to be an
+	// independent support of the formula. Empty falls back to the
+	// formula's own sampling set, then to all variables.
+	SamplingSet []cnf.Var
+	// Solver configures every BSAT call (conflict budgets stand in for
+	// the paper's 2500 s per-call timeout).
+	Solver sat.Config
+	// MaxRetries bounds how many times lines 14–16 are re-executed for
+	// the same i after a BSAT budget exhaustion, mirroring the §5
+	// protocol ("we repeated the execution of lines 14–16 without
+	// incrementing i"). Default 10.
+	MaxRetries int
+	// ApproxMCRounds overrides the δ-derived iteration count of the
+	// setup-time ApproxMC call when > 0 (benchmark knob; 0 keeps the
+	// paper's parameters ε'=0.8, δ'=0.2).
+	ApproxMCRounds int
+}
+
+// Stats accumulates observable behaviour of a Sampler, feeding the
+// Table 1/Table 2 columns.
+type Stats struct {
+	Samples     int64 // successful samples
+	Failures    int64 // ⊥ outcomes
+	BSATCalls   int64
+	XORRows     int64   // total xor clauses issued
+	XORLenSum   float64 // total literals across xor clauses
+	SetupRounds int     // ApproxMC rounds during setup
+	EasyCase    bool    // |R_F| ≤ hiThresh: sampling needs no hashing
+	Q           int     // the q of line 10
+}
+
+// AvgXORLen returns the mean XOR-clause length, the "Avg XOR len"
+// column of Tables 1 and 2.
+func (st Stats) AvgXORLen() float64 {
+	if st.XORRows == 0 {
+		return 0
+	}
+	return st.XORLenSum / float64(st.XORRows)
+}
+
+// SuccessProb returns the observed success probability, the "Succ Prob"
+// column of Tables 1 and 2.
+func (st Stats) SuccessProb() float64 {
+	tot := st.Samples + st.Failures
+	if tot == 0 {
+		return 0
+	}
+	return float64(st.Samples) / float64(tot)
+}
+
+// Sampler is the amortized UniGen state for one formula: the outcome of
+// lines 1–11 of Algorithm 1. Each Sample call executes lines 12–22.
+type Sampler struct {
+	f    *cnf.Formula
+	s    []cnf.Var
+	kp   KappaPivot
+	opts Options
+
+	easy    []cnf.Assignment // all witnesses when |R_F| ≤ hiThresh (lines 5–7)
+	easySet bool             // true when `easy` is authoritative (incl. UNSAT)
+	q       int              // line 10
+	est     *big.Int         // ApproxMC estimate C
+
+	stats Stats
+}
+
+// NewSampler runs the once-per-formula phase of UniGen: compute κ and
+// pivot (line 1), thresholds (lines 2–3), the easy-case enumeration
+// (lines 4–7), and otherwise the ApproxMC estimate and the candidate
+// range endpoint q (lines 9–10).
+func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) {
+	kp, err := ComputeKappaPivot(opts.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 10
+	}
+	s := opts.SamplingSet
+	if len(s) == 0 {
+		s = f.SamplingVars()
+	}
+	smp := &Sampler{f: f, s: s, kp: kp, opts: opts}
+
+	// Lines 4–7: if F has at most hiThresh witnesses, enumerate them
+	// once and sample by index forever after.
+	res := bsat.Enumerate(f, kp.HiThresh+1, bsat.Options{SamplingSet: s, Solver: opts.Solver})
+	if res.BudgetExceeded {
+		return nil, fmt.Errorf("%w (easy-case enumeration)", ErrBudget)
+	}
+	smp.stats.BSATCalls++
+	if len(res.Witnesses) <= kp.HiThresh {
+		smp.easy = res.Witnesses
+		smp.easySet = true
+		smp.stats.EasyCase = true
+		return smp, nil
+	}
+
+	// Line 9: C ← ApproxMC(F, 0.8, 0.8-confidence).
+	amc, err := counter.ApproxMC(f, rng, counter.ApproxMCOptions{
+		Epsilon:       0.8,
+		Delta:         0.2,
+		SamplingSet:   s,
+		Solver:        opts.Solver,
+		MaxHashRounds: opts.ApproxMCRounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("unigen: setup ApproxMC: %w", err)
+	}
+	smp.est = amc.Count
+	smp.stats.SetupRounds = amc.Rounds
+
+	// Line 10: q ← ⌈log₂ C + log₂ 1.8 − log₂ pivot⌉.
+	logC := bigLog2(amc.Count)
+	q := int(math.Ceil(logC + math.Log2(1.8) - math.Log2(float64(kp.Pivot))))
+	if q < 1 {
+		q = 1
+	}
+	if q > len(s) {
+		q = len(s)
+	}
+	smp.q = q
+	smp.stats.Q = q
+	return smp, nil
+}
+
+// bigLog2 approximates log₂(x) for a positive big integer.
+func bigLog2(x *big.Int) float64 {
+	if x.Sign() <= 0 {
+		return 0
+	}
+	bits := x.BitLen()
+	if bits <= 53 {
+		return math.Log2(float64(x.Int64()))
+	}
+	// Take the top 53 bits for the mantissa.
+	mant := new(big.Int).Rsh(x, uint(bits-53))
+	return math.Log2(float64(mant.Int64())) + float64(bits-53)
+}
+
+// Stats returns a snapshot of the sampler's counters.
+func (smp *Sampler) Stats() Stats { return smp.stats }
+
+// KappaPivot exposes the derived parameters (used by benchmarks and the
+// experiment harness).
+func (smp *Sampler) KappaPivot() KappaPivot { return smp.kp }
+
+// EstimatedCount returns the setup-time ApproxMC estimate (nil in the
+// easy case, where the exact witness list is held instead).
+func (smp *Sampler) EstimatedCount() *big.Int {
+	if smp.est == nil {
+		return nil
+	}
+	return new(big.Int).Set(smp.est)
+}
+
+// SamplingSet returns the sampling variables in use.
+func (smp *Sampler) SamplingSet() []cnf.Var {
+	return append([]cnf.Var(nil), smp.s...)
+}
+
+// Sample executes lines 12–22 of Algorithm 1: walk i over {q−3..q},
+// partition R_F with a fresh hash from H_xor(|S|, i, 3), and return a
+// uniformly chosen witness of the first cell whose size lands within
+// [loThresh, hiThresh]. It returns ErrFailed for the ⊥ outcome.
+func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
+	if smp.easySet {
+		// Lines 5–7: uniform choice among all witnesses.
+		if len(smp.easy) == 0 {
+			return nil, errors.New("unigen: formula is unsatisfiable")
+		}
+		smp.stats.Samples++
+		return smp.easy[rng.Intn(len(smp.easy))], nil
+	}
+	kp := smp.kp
+	for i := smp.q - 3; i <= smp.q; i++ {
+		m := i
+		if m < 1 {
+			m = 1
+		}
+		var res bsat.Result
+		ok := false
+		for retry := 0; retry < smp.opts.MaxRetries; retry++ {
+			// Lines 14–15: random h and α (α is folded into the XOR
+			// right-hand sides by hashfam).
+			h := hashfam.Draw(rng, smp.s, m)
+			smp.stats.XORRows += int64(h.M())
+			smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
+			// Line 16.
+			res = bsat.Enumerate(smp.f, kp.HiThresh+1, bsat.Options{
+				SamplingSet: smp.s,
+				Hash:        h,
+				Solver:      smp.opts.Solver,
+			})
+			smp.stats.BSATCalls++
+			if !res.BudgetExceeded {
+				ok = true
+				break
+			}
+			// §5 protocol: on timeout, redo lines 14–16 with the same i.
+		}
+		if !ok {
+			return nil, ErrBudget
+		}
+		n := len(res.Witnesses)
+		if float64(n) >= kp.LoThresh && n <= kp.HiThresh {
+			// Lines 21–22.
+			smp.stats.Samples++
+			return res.Witnesses[rng.Intn(n)], nil
+		}
+	}
+	// Lines 18–19.
+	smp.stats.Failures++
+	return nil, ErrFailed
+}
+
+// SampleBatch draws up to k witnesses from a single accepted cell,
+// without replacement — the optimization introduced by UniGen's
+// successor (UniGen2): one hashing round then amortizes over k
+// returned samples. Witnesses within a batch are NOT independent (they
+// are distinct by construction); use Sample for the DAC'14 guarantee.
+// It returns ErrFailed for a ⊥ round, like Sample.
+func (smp *Sampler) SampleBatch(rng *randx.RNG, k int) ([]cnf.Assignment, error) {
+	if k <= 0 {
+		return nil, errors.New("unigen: batch size must be positive")
+	}
+	if smp.easySet {
+		if len(smp.easy) == 0 {
+			return nil, errors.New("unigen: formula is unsatisfiable")
+		}
+		out := make([]cnf.Assignment, 0, k)
+		for _, idx := range rng.Perm(len(smp.easy)) {
+			if len(out) == k {
+				break
+			}
+			out = append(out, smp.easy[idx])
+		}
+		smp.stats.Samples += int64(len(out))
+		return out, nil
+	}
+	kp := smp.kp
+	for i := smp.q - 3; i <= smp.q; i++ {
+		m := i
+		if m < 1 {
+			m = 1
+		}
+		h := hashfam.Draw(rng, smp.s, m)
+		smp.stats.XORRows += int64(h.M())
+		smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
+		res := bsat.Enumerate(smp.f, kp.HiThresh+1, bsat.Options{
+			SamplingSet: smp.s,
+			Hash:        h,
+			Solver:      smp.opts.Solver,
+		})
+		smp.stats.BSATCalls++
+		if res.BudgetExceeded {
+			return nil, ErrBudget
+		}
+		n := len(res.Witnesses)
+		if float64(n) >= kp.LoThresh && n <= kp.HiThresh {
+			out := make([]cnf.Assignment, 0, k)
+			for _, idx := range rng.Perm(n) {
+				if len(out) == k {
+					break
+				}
+				out = append(out, res.Witnesses[idx])
+			}
+			smp.stats.Samples += int64(len(out))
+			return out, nil
+		}
+	}
+	smp.stats.Failures++
+	return nil, ErrFailed
+}
+
+// SampleMany draws n witnesses, skipping ⊥ rounds, and reports how many
+// rounds were attempted in total. It stops early only on hard errors.
+func (smp *Sampler) SampleMany(rng *randx.RNG, n int) (witnesses []cnf.Assignment, attempts int, err error) {
+	for len(witnesses) < n {
+		attempts++
+		w, serr := smp.Sample(rng)
+		switch {
+		case serr == nil:
+			witnesses = append(witnesses, w)
+		case errors.Is(serr, ErrFailed):
+			// ⊥: retry with fresh randomness (the CRV use case simply
+			// asks again).
+		default:
+			return witnesses, attempts, serr
+		}
+	}
+	return witnesses, attempts, nil
+}

@@ -1,0 +1,37 @@
+package counter
+
+import (
+	"fmt"
+	"math/big"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/sat"
+)
+
+// ExactProjected counts |R_F↓S| — the number of distinct projections of
+// witnesses of f onto its sampling set — by bounded enumeration. limit
+// caps the number of witnesses enumerated; if the count would exceed it,
+// an error is returned. This is the exact counter behind the paper's US
+// reference sampler (§5), where sharpSAT plays the same role.
+func ExactProjected(f *cnf.Formula, limit int, solver sat.Config) (*big.Int, error) {
+	ws, err := EnumerateProjected(f, limit, solver)
+	if err != nil {
+		return nil, err
+	}
+	return big.NewInt(int64(len(ws))), nil
+}
+
+// EnumerateProjected returns every witness of f, distinct on the
+// sampling set, up to limit (error if exceeded or if the solver budget
+// is exhausted).
+func EnumerateProjected(f *cnf.Formula, limit int, solver sat.Config) ([]cnf.Assignment, error) {
+	res := bsat.Enumerate(f, limit+1, bsat.Options{Solver: solver})
+	if res.BudgetExceeded {
+		return nil, fmt.Errorf("counter: solver budget exhausted after %d witnesses", len(res.Witnesses))
+	}
+	if len(res.Witnesses) > limit {
+		return nil, fmt.Errorf("counter: more than %d witnesses", limit)
+	}
+	return res.Witnesses, nil
+}

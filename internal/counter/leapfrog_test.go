@@ -1,0 +1,55 @@
+package counter
+
+import (
+	"math/big"
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+func leapFrogFixture() *cnf.Formula {
+	f := cnf.New(16)
+	f.SamplingSet = []cnf.Var{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+	return f // 2^14 projected models
+}
+
+// TestLeapFrogStaysAccurate: the heuristic only changes where the
+// hash-count search starts, so the estimate must stay within tolerance.
+func TestLeapFrogStaysAccurate(t *testing.T) {
+	f := leapFrogFixture()
+	for _, lf := range []bool{false, true} {
+		rng := randx.New(91)
+		res, err := ApproxMC(f, rng, ApproxMCOptions{
+			Epsilon: 0.8, Delta: 0.2, MaxHashRounds: 8, LeapFrog: lf,
+		})
+		if err != nil {
+			t.Fatalf("leapfrog=%v: %v", lf, err)
+		}
+		v := new(big.Float).SetInt(res.Count)
+		lo, hi := big.NewFloat(16384/1.8), big.NewFloat(16384*1.8)
+		if v.Cmp(lo) < 0 || v.Cmp(hi) > 0 {
+			t.Fatalf("leapfrog=%v: count %v outside [%v,%v]", lf, res.Count, lo, hi)
+		}
+	}
+}
+
+// TestLeapFrogCheaper: with leap-frogging, later rounds skip the low
+// hash counts, so the total number of XOR rows issued must drop.
+func TestLeapFrogCheaper(t *testing.T) {
+	f := leapFrogFixture()
+	work := map[bool]int{}
+	for _, lf := range []bool{false, true} {
+		rng := randx.New(92)
+		res, err := ApproxMC(f, rng, ApproxMCOptions{
+			Epsilon: 0.8, Delta: 0.2, MaxHashRounds: 8, LeapFrog: lf,
+		})
+		if err != nil {
+			t.Fatalf("leapfrog=%v: %v", lf, err)
+		}
+		work[lf] = res.TotalXORRows
+	}
+	if work[true] >= work[false] {
+		t.Fatalf("leap-frogging did not reduce work: %d rows vs %d", work[true], work[false])
+	}
+}

@@ -1,0 +1,121 @@
+// Package hashfam implements the 3-wise independent XOR hash family
+// H_xor(n, m, 3) of Gomes, Sabharwal and Selman (NIPS 2007) that UniGen,
+// UniWit and ApproxMC all use to partition witness spaces.
+//
+// A hash function h: {0,1}^n -> {0,1}^m in the family is defined by
+// coefficients a[i][j] ∈ {0,1}:
+//
+//	h(y)[i] = a[i][0] ⊕ ⊕_{k=1..n} a[i][k]·y[k]
+//
+// Choosing all a[i][j] uniformly at random draws h uniformly from the
+// family. Conjoining h(vars) = α to a formula adds m XOR clauses, each
+// over ~n/2 variables in expectation — which is why UniGen's restriction
+// of n to the (small) independent support is the paper's key scalability
+// lever (§4).
+package hashfam
+
+import (
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+// XORConstraint is one row of a hash constraint h(y)[i] = α[i], already
+// folded into parity-constraint form over formula variables.
+type XORConstraint struct {
+	Vars []cnf.Var
+	RHS  bool
+}
+
+// Hash is a randomly drawn member of H_xor(|Vars|, m, 3) together with a
+// random target cell α, represented as m XOR constraints over Vars.
+type Hash struct {
+	Rows []XORConstraint
+}
+
+// M returns the number of hash bits (rows).
+func (h *Hash) M() int { return len(h.Rows) }
+
+// AverageLen returns the mean number of variables per XOR row, the
+// statistic reported in the "Avg XOR len" columns of Tables 1 and 2.
+func (h *Hash) AverageLen() float64 {
+	if len(h.Rows) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range h.Rows {
+		total += len(r.Vars)
+	}
+	return float64(total) / float64(len(h.Rows))
+}
+
+// Draw samples h uniformly from H_xor(len(vars), m, 3) and α uniformly
+// from {0,1}^m, returning the constraint h(vars) = α. Each variable
+// appears in each row independently with probability 1/2; the row's
+// constant a[i][0] and the cell bit α[i] fold into the RHS.
+func Draw(rng *randx.RNG, vars []cnf.Var, m int) *Hash {
+	h := &Hash{Rows: make([]XORConstraint, m)}
+	for i := 0; i < m; i++ {
+		h.Rows[i] = drawRow(rng, vars, 0.5)
+	}
+	return h
+}
+
+// DrawSparse samples from the density-q variant of the family, in which
+// each variable joins a row with probability q < 0.5 (Gomes et al.,
+// SAT 2007 "Short XORs"). This trades away the 3-independence guarantee
+// for shorter rows; it is provided for the ablation discussed in §4 of
+// the DAC'14 paper (the variant "mitigates the performance bottleneck
+// significantly, but theoretical guarantees are lost").
+func DrawSparse(rng *randx.RNG, vars []cnf.Var, m int, q float64) *Hash {
+	h := &Hash{Rows: make([]XORConstraint, m)}
+	for i := 0; i < m; i++ {
+		h.Rows[i] = drawRow(rng, vars, q)
+	}
+	return h
+}
+
+func drawRow(rng *randx.RNG, vars []cnf.Var, q float64) XORConstraint {
+	var row XORConstraint
+	if q == 0.5 {
+		// Fast path: one random bit per variable.
+		for _, v := range vars {
+			if rng.Bool() {
+				row.Vars = append(row.Vars, v)
+			}
+		}
+	} else {
+		for _, v := range vars {
+			if rng.Float64() < q {
+				row.Vars = append(row.Vars, v)
+			}
+		}
+	}
+	// a[i][0] ⊕ α[i] folded into one random bit.
+	row.RHS = rng.Bool()
+	return row
+}
+
+// Apply conjoins the hash constraint to a copy of f and returns it; f is
+// not modified.
+func (h *Hash) Apply(f *cnf.Formula) *cnf.Formula {
+	g := f.Clone()
+	for _, r := range h.Rows {
+		g.AddXOR(r.Vars, r.RHS)
+	}
+	return g
+}
+
+// Evaluate computes h(a)[i] for every row under assignment a and reports
+// whether a lands in the hash's target cell (all rows satisfied).
+func (h *Hash) Evaluate(a cnf.Assignment) bool {
+	for _, r := range h.Rows {
+		par := false
+		for _, v := range r.Vars {
+			par = par != a.Get(v)
+		}
+		if par != r.RHS {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+// Package indsupport decides and minimizes independent supports of CNF
+// formulas. The DAC'14 paper assumes a (small) independent support is
+// supplied from the problem domain and notes that "an algorithmic
+// solution to this problem is beyond the scope of this paper" (§4);
+// this package provides that solution, in the style of the follow-up
+// work on minimal independent supports: a set S is an independent
+// support of F iff the "doubled" formula
+//
+//	F(X) ∧ F(X') ∧ ⋀_{v∈S} (v = v') ∧ ⋁_{w∉S} (w ≠ w')
+//
+// is unsatisfiable, and a minimal support is found by greedily dropping
+// variables whose removal preserves that property.
+package indsupport
+
+import (
+	"fmt"
+
+	"unigen/internal/cnf"
+	"unigen/internal/sat"
+)
+
+// IsIndependent reports whether S is an independent support of f.
+// The check is one SAT call on a formula twice the size of f.
+func IsIndependent(f *cnf.Formula, s []cnf.Var, cfg sat.Config) (bool, error) {
+	g := doubled(f, s)
+	solver := sat.New(g, cfg)
+	switch solver.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	default:
+		return false, fmt.Errorf("indsupport: solver budget exhausted")
+	}
+}
+
+// Minimize greedily shrinks the given independent support: variables
+// are dropped one at a time whenever the remainder is still an
+// independent support. The result is minimal (no single variable can
+// be removed) but not necessarily minimum. It errors if the starting
+// set is not an independent support.
+func Minimize(f *cnf.Formula, start []cnf.Var, cfg sat.Config) ([]cnf.Var, error) {
+	ok, err := IsIndependent(f, start, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("indsupport: starting set is not an independent support")
+	}
+	cur := append([]cnf.Var(nil), start...)
+	for i := 0; i < len(cur); {
+		cand := make([]cnf.Var, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		ok, err := IsIndependent(f, cand, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cur = cand // drop cur[i]; do not advance (next element shifted in)
+		} else {
+			i++
+		}
+	}
+	return cur, nil
+}
+
+// Find computes a minimal independent support starting from all
+// variables of f (the full support is always independent).
+func Find(f *cnf.Formula, cfg sat.Config) ([]cnf.Var, error) {
+	all := make([]cnf.Var, f.NumVars)
+	for i := range all {
+		all[i] = cnf.Var(i + 1)
+	}
+	return Minimize(f, all, cfg)
+}
+
+// doubled builds F(X) ∧ F(X') ∧ (S agree) ∧ (some non-S var differs).
+// X' uses variables shifted by f.NumVars; difference indicators d_w
+// (one per non-S variable) occupy a third block.
+func doubled(f *cnf.Formula, s []cnf.Var) *cnf.Formula {
+	n := f.NumVars
+	inS := make([]bool, n+1)
+	for _, v := range s {
+		if int(v) <= n {
+			inS[v] = true
+		}
+	}
+	g := cnf.New(2 * n)
+	// F(X) and F(X').
+	for _, c := range f.Clauses {
+		g.AddClauseLits(append(cnf.Clause(nil), c...))
+		shifted := make(cnf.Clause, len(c))
+		for i, l := range c {
+			shifted[i] = cnf.MkLit(l.Var()+cnf.Var(n), l.Neg())
+		}
+		g.AddClauseLits(shifted)
+	}
+	for _, x := range f.XORs {
+		g.AddXOR(x.Vars, x.RHS)
+		shifted := make([]cnf.Var, len(x.Vars))
+		for i, v := range x.Vars {
+			shifted[i] = v + cnf.Var(n)
+		}
+		g.AddXOR(shifted, x.RHS)
+	}
+	// Agreement on S.
+	for _, v := range s {
+		if int(v) > n {
+			continue
+		}
+		g.AddClause(-int(v), int(v)+n)
+		g.AddClause(int(v), -(int(v) + n))
+	}
+	// Some non-S variable differs: d_w ↔ (w ⊕ w'), ⋁ d_w.
+	var diff cnf.Clause
+	next := 2 * n
+	for w := 1; w <= n; w++ {
+		if inS[w] {
+			continue
+		}
+		next++
+		d := cnf.Var(next)
+		// d ⊕ w ⊕ w' = 0  ⇔  d = w ⊕ w'.
+		g.AddXOR([]cnf.Var{d, cnf.Var(w), cnf.Var(w + n)}, false)
+		diff = append(diff, cnf.MkLit(d, false))
+	}
+	if len(diff) == 0 {
+		// S covers everything: independence is trivially true; encode
+		// unsatisfiable difference requirement.
+		g.Clauses = append(g.Clauses, cnf.Clause{})
+		return g
+	}
+	g.AddClauseLits(diff)
+	return g
+}

@@ -1,0 +1,118 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first), the backtrack level, and the LBD
+// (number of distinct decision levels in the learned clause).
+func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel, lbd int) {
+	learnt = s.analyzeLearnt[:0] // scratch reused across conflicts
+	learnt = append(learnt, 0)   // placeholder for the asserting literal
+	pathC := 0
+	var p cnf.Lit
+	idx := len(s.trail) - 1
+	reasonLits := confl.lits
+	if confl.learnt {
+		s.bumpClause(confl)
+	}
+	toClear := s.analyzeSeen[:0]
+	for {
+		start := 0
+		if p != 0 {
+			start = 1 // skip the implied literal itself
+		}
+		for _, q := range reasonLits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				toClear = append(toClear, v)
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		r := s.reasons[p.Var()]
+		reasonLits = s.reasonLitsFor(p.Var())
+		if r.cl != nil && r.cl.learnt {
+			s.bumpClause(r.cl)
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization (basic conflict-clause minimization): a literal
+	// is redundant if it is implied by other literals of the clause.
+	w := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.reasons[v].isNone() || !s.litRedundant(learnt[i]) {
+			learnt[w] = learnt[i]
+			w++
+		}
+	}
+	learnt = learnt[:w]
+
+	// Backtrack level: second-highest level in the clause.
+	if len(learnt) == 1 {
+		btLevel = 0
+	} else {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+
+	// LBD: distinct decision levels among the learned literals, counted
+	// with a stamped array to avoid a per-conflict map allocation.
+	s.lbdStamp++
+	for len(s.lbdMark) <= s.decisionLevel() {
+		s.lbdMark = append(s.lbdMark, 0)
+	}
+	for _, l := range learnt {
+		lvl := s.level[l.Var()]
+		if s.lbdMark[lvl] != s.lbdStamp {
+			s.lbdMark[lvl] = s.lbdStamp
+			lbd++
+		}
+	}
+
+	for _, v := range toClear {
+		s.seen[v] = 0
+	}
+	s.analyzeLearnt = learnt[:0]
+	s.analyzeSeen = toClear[:0]
+	return learnt, btLevel, lbd
+}
+
+// litRedundant reports whether literal l is implied by the other
+// (seen-marked) literals of the learned clause: every literal of its
+// reason is either assigned at level 0 or already marked seen.
+func (s *Solver) litRedundant(l cnf.Lit) bool {
+	rl := s.reasonLitsFor(l.Var())
+	for _, q := range rl[1:] {
+		v := q.Var()
+		if s.level[v] == 0 {
+			continue
+		}
+		if s.seen[v] == 0 {
+			return false
+		}
+	}
+	return true
+}

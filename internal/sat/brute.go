@@ -1,0 +1,40 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// BruteForceModels enumerates every satisfying assignment of f by trying
+// all 2^NumVars assignments. It is the reference oracle for tests and is
+// only usable for small formulas (NumVars <= ~24).
+func BruteForceModels(f *cnf.Formula) []cnf.Assignment {
+	n := f.NumVars
+	if n > 24 {
+		panic("sat: BruteForceModels formula too large")
+	}
+	var out []cnf.Assignment
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		a := cnf.NewAssignment(n)
+		for v := 1; v <= n; v++ {
+			a[v] = m&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BruteForceCount returns the number of satisfying assignments of f,
+// counted by exhaustive enumeration.
+func BruteForceCount(f *cnf.Formula) int {
+	return len(BruteForceModels(f))
+}
+
+// BruteForceProjectedCount returns the number of distinct projections of
+// models of f onto vars.
+func BruteForceProjectedCount(f *cnf.Formula, vars []cnf.Var) int {
+	seen := map[string]struct{}{}
+	for _, m := range BruteForceModels(f) {
+		seen[m.Project(vars)] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,101 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// varHeap is an indexed max-heap over variable activities, used for
+// VSIDS branching. indices[v] is the position of v in heap, or -1.
+type varHeap struct {
+	heap    []cnf.Var
+	indices []int
+	act     *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) growTo(n int) {
+	for len(h.indices) <= n {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool {
+	return (*h.act)[a] > (*h.act)[b]
+}
+
+func (h *varHeap) contains(v cnf.Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v cnf.Var) {
+	h.growTo(int(v))
+	if h.contains(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.percolateUp(len(h.heap) - 1)
+}
+
+// removeMax pops the most active variable.
+func (h *varHeap) removeMax() cnf.Var {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.percolateDown(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v cnf.Var) {
+	if h.contains(v) {
+		h.percolateUp(h.indices[v])
+	}
+}

@@ -1,0 +1,196 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// propagate performs unit propagation (CNF watches, then XOR watches)
+// for every literal on the trail past qhead. It returns the conflicting
+// clause, or nil. XOR conflicts are materialized into a temporary clause
+// whose literals are all false under the current assignment, so conflict
+// analysis treats CNF and XOR conflicts uniformly.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		if confl := s.propagateClauses(p); confl != nil {
+			return confl
+		}
+		if confl := s.propagateXORs(p.Var()); confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// propagateClauses visits every clause watching ¬p after p became true.
+func (s *Solver) propagateClauses(p cnf.Lit) *clause {
+	ws := s.watches[p]
+	i, j := 0, 0
+	for i < len(ws) {
+		w := ws[i]
+		if s.value(w.blocker) == lTrue {
+			ws[j] = w
+			i++
+			j++
+			continue
+		}
+		cl := w.cl
+		if cl.deleted {
+			i++
+			continue
+		}
+		lits := cl.lits
+		falseLit := p.Not()
+		if lits[0] == falseLit {
+			lits[0], lits[1] = lits[1], lits[0]
+		}
+		first := lits[0]
+		if first != w.blocker && s.value(first) == lTrue {
+			ws[j] = watcher{cl: cl, blocker: first}
+			i++
+			j++
+			continue
+		}
+		found := false
+		for k := 2; k < len(lits); k++ {
+			if s.value(lits[k]) != lFalse {
+				lits[1], lits[k] = lits[k], lits[1]
+				nw := lits[1].Not()
+				s.watches[nw] = append(s.watches[nw], watcher{cl: cl, blocker: first})
+				found = true
+				break
+			}
+		}
+		if found {
+			i++ // clause moved to another watch list
+			continue
+		}
+		// Clause is unit or conflicting.
+		ws[j] = watcher{cl: cl, blocker: first}
+		i++
+		j++
+		if s.value(first) == lFalse {
+			for ; i < len(ws); i++ {
+				ws[j] = ws[i]
+				j++
+			}
+			s.watches[p] = ws[:j]
+			s.qhead = len(s.trail)
+			return cl
+		}
+		s.uncheckedEnqueue(first, reason{cl: cl})
+	}
+	s.watches[p] = ws[:j]
+	return nil
+}
+
+// propagateXORs visits every XOR clause watching variable v after v was
+// assigned (either polarity: parity constraints react to both).
+func (s *Solver) propagateXORs(v cnf.Var) *clause {
+	occ := s.occXor[v]
+	i, j := 0, 0
+	for i < len(occ) {
+		xi := occ[i]
+		x := &s.xors[xi]
+		wi := 0
+		if x.vars[x.w[1]] == v {
+			wi = 1
+		}
+		otherIdx := x.w[1-wi]
+		other := x.vars[otherIdx]
+		// Try to move this watch to another unassigned variable.
+		moved := false
+		for k, xv := range x.vars {
+			if k == x.w[0] || k == x.w[1] {
+				continue
+			}
+			if s.valueVar(xv) == lUndef {
+				x.w[wi] = k
+				s.occXor[xv] = append(s.occXor[xv], xi)
+				moved = true
+				break
+			}
+		}
+		if moved {
+			i++ // drop xi from v's occurrence list
+			continue
+		}
+		occ[j] = xi
+		j++
+		i++
+		// All variables except possibly `other` are assigned: compute the
+		// parity the other watch must take.
+		need := x.rhs
+		for k, xv := range x.vars {
+			if k == otherIdx {
+				continue
+			}
+			if s.valueVar(xv) == lTrue {
+				need = !need
+			}
+		}
+		switch s.valueVar(other) {
+		case lUndef:
+			s.stats.XORProps++
+			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{xor: xi + 1})
+		case lTrue:
+			if !need {
+				return s.xorConflict(occ, j, i, v, xi)
+			}
+		case lFalse:
+			if need {
+				return s.xorConflict(occ, j, i, v, xi)
+			}
+		}
+	}
+	s.occXor[v] = occ[:j]
+	return nil
+}
+
+// xorConflict finalizes the occurrence list compaction and returns the
+// conflicting XOR materialized as an all-false clause.
+func (s *Solver) xorConflict(occ []int32, j, i int, v cnf.Var, xi int32) *clause {
+	for ; i < len(occ); i++ {
+		occ[j] = occ[i]
+		j++
+	}
+	s.occXor[v] = occ[:j]
+	s.qhead = len(s.trail)
+	return &clause{lits: s.xorFalseClause(xi, 0)}
+}
+
+// xorFalseClause renders XOR clause xi under the current assignment as a
+// CNF clause in which every literal is false, except that variable
+// `skip` (if nonzero) is rendered as its *currently implied* literal and
+// placed first. With skip=0 it is a conflict clause; with skip=v it is
+// the reason clause for v's implication.
+func (s *Solver) xorFalseClause(xi int32, skip cnf.Var) []cnf.Lit {
+	x := &s.xors[xi]
+	out := make([]cnf.Lit, 0, len(x.vars))
+	if skip != 0 {
+		out = append(out, cnf.MkLit(skip, s.valueVar(skip) == lFalse))
+	}
+	for _, xv := range x.vars {
+		if xv == skip {
+			continue
+		}
+		// Literal that is false now: the negation of the current value.
+		out = append(out, cnf.MkLit(xv, s.valueVar(xv) == lTrue))
+	}
+	return out
+}
+
+// reasonLitsFor returns the clause that implied variable v, with the
+// implied literal first. It must only be called for implied (non-decision)
+// variables.
+func (s *Solver) reasonLitsFor(v cnf.Var) []cnf.Lit {
+	r := s.reasons[v]
+	switch {
+	case r.cl != nil:
+		return r.cl.lits
+	case r.xor != 0:
+		return s.xorFalseClause(r.xor-1, v)
+	default:
+		panic("sat: reasonLitsFor on a decision variable")
+	}
+}

@@ -1,0 +1,576 @@
+package sat
+
+import (
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+// Solver is a CDCL SAT solver over CNF + XOR clauses. It is not safe for
+// concurrent use. Clauses may be added between Solve calls (the basis of
+// blocking-clause enumeration in BSAT).
+type Solver struct {
+	cfg Config
+
+	numVars int
+	ok      bool // false once a top-level conflict is found
+
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+	watches [][]watcher
+
+	xors   []xorClause
+	occXor [][]int32 // per var: indices of xors currently watching it
+
+	assigns  []lbool   // per var
+	level    []int     // per var
+	reasons  []reason  // per var
+	phase    []bool    // saved polarity per var
+	activity []float64 // VSIDS activity per var
+	seen     []byte    // scratch for analyze
+
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	order    *varHeap
+	priOrder *varHeap // priority variables, branched before `order`
+	priority []bool   // per var
+	varInc   float64
+	claInc   float64
+
+	maxLearnts float64
+	rng        *randx.RNG
+	stats      Stats
+
+	model cnf.Assignment
+
+	// Conflict-analysis scratch, reused across conflicts.
+	analyzeLearnt []cnf.Lit
+	analyzeSeen   []cnf.Var
+	lbdMark       []int64
+	lbdStamp      int64
+
+	proof        []ProofStep
+	constructing bool // true while New loads the base formula
+}
+
+// New builds a solver for formula f. XOR clauses of length 1 become unit
+// assignments; an empty clause makes the solver permanently UNSAT.
+func New(f *cnf.Formula, cfg Config) *Solver {
+	if cfg.RecordProof {
+		cfg.GaussJordan = false // Gauss units are not RUP-derivable
+	}
+	s := &Solver{cfg: cfg, ok: true, varInc: 1, claInc: 1, maxLearnts: 4000}
+	s.constructing = true
+	defer func() { s.constructing = false }()
+	s.rng = randx.New(cfg.Seed ^ 0x5eed5a17)
+	s.order = newVarHeap(&s.activity)
+	s.priOrder = newVarHeap(&s.activity)
+	for _, v := range cfg.PriorityVars {
+		s.growTo(int(v))
+		s.priority[v] = true
+	}
+	s.growTo(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c) {
+			return s
+		}
+	}
+	xs := f.XORs
+	if cfg.GaussJordan && len(xs) > 0 {
+		reduced, units, conflict := gaussJordan(xs)
+		if conflict {
+			s.ok = false
+			return s
+		}
+		for _, u := range units {
+			s.stats.GaussUnits++
+			if !s.addUnit(u) {
+				return s
+			}
+		}
+		xs = reduced
+	}
+	for _, x := range xs {
+		if !s.AddXOR(x.Vars, x.RHS) {
+			return s
+		}
+	}
+	return s
+}
+
+// growTo extends all per-variable and per-literal arrays to cover n vars.
+func (s *Solver) growTo(n int) {
+	if n <= s.numVars {
+		return
+	}
+	old := s.numVars
+	s.numVars = n
+	for len(s.assigns) <= n {
+		s.assigns = append(s.assigns, lUndef)
+	}
+	for len(s.level) <= n {
+		s.level = append(s.level, 0)
+	}
+	for len(s.reasons) <= n {
+		s.reasons = append(s.reasons, reason{})
+	}
+	for len(s.phase) <= n {
+		s.phase = append(s.phase, false)
+	}
+	for len(s.activity) <= n {
+		s.activity = append(s.activity, 0)
+	}
+	for len(s.seen) <= n {
+		s.seen = append(s.seen, 0)
+	}
+	for len(s.occXor) <= n {
+		s.occXor = append(s.occXor, nil)
+	}
+	for len(s.watches) <= 2*n+1 {
+		s.watches = append(s.watches, nil)
+	}
+	for len(s.priority) <= n {
+		s.priority = append(s.priority, false)
+	}
+	s.order.growTo(n)
+	s.priOrder.growTo(n)
+	for v := old + 1; v <= n; v++ {
+		s.insertOrder(cnf.Var(v))
+	}
+}
+
+// insertOrder re-inserts an unassigned variable into its decision heap.
+func (s *Solver) insertOrder(v cnf.Var) {
+	if s.priority[v] {
+		s.priOrder.insert(v)
+	} else {
+		s.order.insert(v)
+	}
+}
+
+// NumVars returns the number of variables the solver knows about.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// Stats returns cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Okay reports whether the solver is still consistent at level 0.
+func (s *Solver) Okay() bool { return s.ok }
+
+func (s *Solver) value(l cnf.Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) valueVar(v cnf.Var) lbool { return s.assigns[v] }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause at decision level 0, simplifying against the
+// top-level assignment. Returns false if the solver became UNSAT.
+func (s *Solver) AddClause(c cnf.Clause) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above level 0")
+	}
+	norm, taut := cnf.NormalizeClause(c)
+	if taut {
+		return true
+	}
+	if !s.constructing {
+		s.logAxiom(norm) // base-formula clauses are already in f
+	}
+	for _, l := range norm {
+		s.growTo(int(l.Var()))
+	}
+	out := make(cnf.Clause, 0, len(norm))
+	for _, l := range norm {
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lUndef:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		s.logLemma(nil)
+		return false
+	case 1:
+		return s.addUnit(out[0])
+	}
+	cl := &clause{lits: out}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	return true
+}
+
+func (s *Solver) addUnit(l cnf.Lit) bool {
+	s.growTo(int(l.Var()))
+	switch s.value(l) {
+	case lFalse:
+		s.ok = false
+		s.logLemma(nil)
+		return false
+	case lTrue:
+		return true
+	}
+	s.uncheckedEnqueue(l, reason{})
+	if s.propagate() != nil {
+		s.ok = false
+		s.logLemma(nil)
+		return false
+	}
+	return true
+}
+
+// AddXOR adds the parity constraint ⊕vars = rhs at level 0.
+func (s *Solver) AddXOR(vars []cnf.Var, rhs bool) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddXOR above level 0")
+	}
+	norm, nrhs := cnf.NormalizeXOR(vars, rhs)
+	if !s.constructing && s.cfg.RecordProof {
+		if len(norm) > 12 {
+			panic("sat: proof recording cannot expand XOR axioms wider than 12 vars")
+		}
+		for _, c := range expandXORForCheck(cnf.XORClause{Vars: norm, RHS: nrhs}) {
+			s.logAxiom(c)
+		}
+	}
+	for _, v := range norm {
+		s.growTo(int(v))
+	}
+	out := make([]cnf.Var, 0, len(norm))
+	for _, v := range norm {
+		switch s.valueVar(v) {
+		case lTrue:
+			nrhs = !nrhs
+		case lUndef:
+			out = append(out, v)
+		}
+	}
+	switch len(out) {
+	case 0:
+		if nrhs {
+			s.ok = false
+			return false
+		}
+		return true
+	case 1:
+		return s.addUnit(cnf.MkLit(out[0], !nrhs))
+	}
+	x := xorClause{vars: out, rhs: nrhs, w: [2]int{0, 1}}
+	idx := int32(len(s.xors))
+	s.xors = append(s.xors, x)
+	s.occXor[out[0]] = append(s.occXor[out[0]], idx)
+	s.occXor[out[1]] = append(s.occXor[out[1]], idx)
+	return true
+}
+
+func (s *Solver) attach(cl *clause) {
+	l0, l1 := cl.lits[0], cl.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cl: cl, blocker: l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cl: cl, blocker: l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reasons[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = !l.Neg()
+		s.assigns[v] = lUndef
+		s.reasons[v] = reason{}
+		s.insertOrder(v)
+	}
+	s.qhead = s.trailLim[lvl]
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve. The returned slice is owned by the caller.
+func (s *Solver) Model() cnf.Assignment {
+	out := make(cnf.Assignment, len(s.model))
+	copy(out, s.model)
+	return out
+}
+
+// Solve searches for a model of the clauses under the given assumptions.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	for _, a := range assumptions {
+		s.growTo(int(a.Var()))
+	}
+	confLimit := int64(-1)
+	if s.cfg.MaxConflicts > 0 {
+		confLimit = s.stats.Conflicts + s.cfg.MaxConflicts
+	}
+	propLimit := int64(-1)
+	if s.cfg.MaxPropagations > 0 {
+		propLimit = s.stats.Propagations + s.cfg.MaxPropagations
+	}
+	restartN := 0
+	for {
+		n := luby(2.0, restartN) * 100
+		restartN++
+		st := s.search(int64(n), confLimit, propLimit, assumptions)
+		if st != Unknown {
+			if st == Sat {
+				s.model = make(cnf.Assignment, s.numVars+1)
+				for v := 1; v <= s.numVars; v++ {
+					s.model[v] = s.assigns[v] == lTrue
+				}
+			}
+			s.cancelUntil(0)
+			return st
+		}
+		if (confLimit >= 0 && s.stats.Conflicts >= confLimit) ||
+			(propLimit >= 0 && s.stats.Propagations >= propLimit) {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs up to nConflicts conflicts (or until confLimit/propLimit
+// totals).
+func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cnf.Lit) Status {
+	var localConf int64
+	for {
+		confl := s.propagate()
+		if propLimit >= 0 && s.stats.Propagations >= propLimit {
+			return Unknown
+		}
+		if confl != nil {
+			s.stats.Conflicts++
+			localConf++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				s.logLemma(nil)
+				return Unsat
+			}
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt, lbd)
+			s.decayActivities()
+			if (confLimit >= 0 && s.stats.Conflicts >= confLimit) || localConf >= nConflicts {
+				return Unknown
+			}
+			continue
+		}
+		if float64(len(s.learnts)) > s.maxLearnts {
+			s.reduceDB()
+		}
+		next := cnf.Lit(0)
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case lFalse:
+				return Unsat // assumption contradicted
+			default:
+				next = a
+			}
+			break
+		}
+		if next == 0 {
+			next = s.pickBranchLit()
+			if next == 0 {
+				return Sat // all variables assigned
+			}
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, reason{})
+	}
+}
+
+func (s *Solver) pickBranchLit() cnf.Lit {
+	for _, h := range [2]*varHeap{s.priOrder, s.order} {
+		for !h.empty() {
+			v := h.removeMax()
+			if s.assigns[v] != lUndef {
+				continue
+			}
+			pol := s.phase[v]
+			if s.cfg.RandomPolarityFreq > 0 && s.rng.Float64() < s.cfg.RandomPolarityFreq {
+				pol = s.rng.Bool()
+			}
+			return cnf.MkLit(v, !pol)
+		}
+	}
+	return 0
+}
+
+func (s *Solver) recordLearnt(learnt []cnf.Lit, lbd int) {
+	s.stats.Learned++
+	s.logLemma(learnt)
+	if len(learnt) == 1 {
+		s.uncheckedEnqueue(learnt[0], reason{})
+		return
+	}
+	cl := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true, lbd: lbd, act: s.claInc}
+	s.learnts = append(s.learnts, cl)
+	s.attach(cl)
+	s.uncheckedEnqueue(learnt[0], reason{cl: cl})
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc *= 1 / 0.95
+	s.claInc *= 1 / 0.999
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.numVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+	s.priOrder.update(v)
+}
+
+func (s *Solver) bumpClause(cl *clause) {
+	cl.act += s.claInc
+	if cl.act > 1e20 {
+		for _, c := range s.learnts {
+			c.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// reduceDB removes the less useful half of the learned clauses
+// (keeping binary clauses and clauses that are current reasons).
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	ls := append([]*clause(nil), s.learnts...)
+	sortClauses(ls)
+	locked := make(map[*clause]bool, 64)
+	for _, l := range s.trail {
+		if r := s.reasons[l.Var()]; r.cl != nil {
+			locked[r.cl] = true
+		}
+	}
+	remove := len(ls) / 2
+	kept := s.learnts[:0]
+	for i, cl := range ls {
+		if i < remove && len(cl.lits) > 2 && !locked[cl] {
+			cl.deleted = true
+			s.stats.RemovedDB++
+			continue
+		}
+		kept = append(kept, cl)
+	}
+	s.learnts = kept
+	for li := range s.watches {
+		ws := s.watches[li]
+		w := 0
+		for _, wt := range ws {
+			if !wt.cl.deleted {
+				ws[w] = wt
+				w++
+			}
+		}
+		s.watches[li] = ws[:w]
+	}
+	s.maxLearnts *= 1.3
+}
+
+func sortClauses(ls []*clause) {
+	quickSortClauses(ls, 0, len(ls)-1)
+}
+
+func quickSortClauses(ls []*clause, lo, hi int) {
+	for lo < hi {
+		p := ls[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for clauseLess(ls[i], p) {
+				i++
+			}
+			for clauseLess(p, ls[j]) {
+				j--
+			}
+			if i <= j {
+				ls[i], ls[j] = ls[j], ls[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortClauses(ls, lo, j)
+			lo = i
+		} else {
+			quickSortClauses(ls, i, hi)
+			hi = j
+		}
+	}
+}
+
+// clauseLess orders clauses so that the "worst" (deleted first) come
+// first: higher LBD first, then lower activity.
+func clauseLess(a, b *clause) bool {
+	if a.lbd != b.lbd {
+		return a.lbd > b.lbd
+	}
+	return a.act < b.act
+}
+
+// luby returns the Luby restart sequence value for index i with base y.
+func luby(y float64, i int) float64 {
+	size, seq := 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	p := 1.0
+	for k := 0; k < seq; k++ {
+		p *= y
+	}
+	return p
+}

@@ -1,0 +1,405 @@
+// Package simplify provides CNF preprocessing in the style of
+// CryptoMiniSAT/SatELite, the solver layer the DAC'14 implementation
+// builds on: top-level unit propagation, subsumption and
+// self-subsuming resolution, bounded variable elimination (BVE), and —
+// most relevant to UniGen — recovery of native XOR clauses from their
+// CNF (Tseitin) encodings, which is how parity structure written out
+// as plain CNF becomes visible to the XOR-aware solver again.
+//
+// All transformations are equivalence-preserving EXCEPT bounded
+// variable elimination, which preserves satisfiability and, crucially
+// for sampling, preserves the witness distribution PROJECTED ON the
+// sampling set as long as eliminated variables are outside it: BVE is
+// therefore only applied to non-sampling variables.
+package simplify
+
+import (
+	"sort"
+
+	"unigen/internal/cnf"
+)
+
+// Options selects passes. The zero value enables everything except BVE.
+type Options struct {
+	// NoSubsumption disables subsumption/self-subsumption.
+	NoSubsumption bool
+	// NoXORRecovery disables XOR-clause recovery.
+	NoXORRecovery bool
+	// BVE enables bounded variable elimination of non-sampling
+	// variables whose elimination does not grow the clause count.
+	BVE bool
+	// MaxXORArity bounds the width of recovered XOR clauses
+	// (a width-k XOR needs 2^(k-1) source clauses). Default 5.
+	MaxXORArity int
+}
+
+// Result reports what the simplifier did.
+type Result struct {
+	F               *cnf.Formula
+	UnitsFixed      int
+	Subsumed        int
+	SelfSubsumed    int
+	VarsEliminated  int
+	XORsRecovered   int
+	SourceClausesIn int
+}
+
+// Simplify runs the configured passes to fixpoint (each pass at most a
+// few rounds) and returns a new formula; the input is not modified.
+func Simplify(f *cnf.Formula, opts Options) (*Result, error) {
+	if opts.MaxXORArity == 0 {
+		opts.MaxXORArity = 5
+	}
+	g := f.Clone()
+	res := &Result{SourceClausesIn: len(g.Clauses)}
+
+	for round := 0; round < 4; round++ {
+		changed := false
+		if n, ok := propagateUnits(g); !ok {
+			// Conflict: formula is UNSAT; represent with empty clause.
+			g.Clauses = []cnf.Clause{{}}
+			g.XORs = nil
+			res.F = g
+			return res, nil
+		} else if n > 0 {
+			res.UnitsFixed += n
+			changed = true
+		}
+		if !opts.NoSubsumption {
+			sub, self := subsumptionPass(g)
+			res.Subsumed += sub
+			res.SelfSubsumed += self
+			changed = changed || sub > 0 || self > 0
+		}
+		if !changed {
+			break
+		}
+	}
+	if !opts.NoXORRecovery {
+		res.XORsRecovered = recoverXORs(g, opts.MaxXORArity)
+	}
+	if opts.BVE {
+		res.VarsEliminated = eliminateVars(g)
+	}
+	res.F = g
+	return res, nil
+}
+
+// propagateUnits applies all unit clauses, simplifying clauses and XOR
+// clauses. Returns the number of fixed variables and ok=false on
+// conflict.
+func propagateUnits(f *cnf.Formula) (int, bool) {
+	val := map[cnf.Var]bool{} // fixed values
+	fixed := 0
+	for {
+		unit := cnf.Lit(0)
+		for _, c := range f.Clauses {
+			if len(c) == 1 {
+				if v, ok := val[c[0].Var()]; ok {
+					if v == c[0].Neg() {
+						return fixed, false // contradicts earlier unit
+					}
+					continue
+				}
+				unit = c[0]
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		val[unit.Var()] = !unit.Neg()
+		fixed++
+		var nc []cnf.Clause
+		for _, c := range f.Clauses {
+			sat := false
+			var out cnf.Clause
+			for _, l := range c {
+				if v, ok := val[l.Var()]; ok {
+					if l.Neg() != v {
+						sat = true
+						break
+					}
+					continue // false literal dropped
+				}
+				out = append(out, l)
+			}
+			if sat {
+				continue
+			}
+			if len(out) == 0 {
+				return fixed, false
+			}
+			nc = append(nc, out)
+		}
+		// Keep the units themselves so downstream solvers see the
+		// assignments.
+		for v, b := range val {
+			nc = append(nc, cnf.Clause{cnf.MkLit(v, !b)})
+		}
+		f.Clauses = dedupeClauses(nc)
+		var nx []cnf.XORClause
+		for _, x := range f.XORs {
+			var vs []cnf.Var
+			rhs := x.RHS
+			for _, xv := range x.Vars {
+				if b, ok := val[xv]; ok {
+					if b {
+						rhs = !rhs
+					}
+					continue
+				}
+				vs = append(vs, xv)
+			}
+			if len(vs) == 0 {
+				if rhs {
+					return fixed, false
+				}
+				continue
+			}
+			if len(vs) == 1 {
+				f.Clauses = append(f.Clauses, cnf.Clause{cnf.MkLit(vs[0], !rhs)})
+				continue
+			}
+			nx = append(nx, cnf.XORClause{Vars: vs, RHS: rhs})
+		}
+		f.XORs = nx
+	}
+	return fixed, true
+}
+
+func dedupeClauses(cls []cnf.Clause) []cnf.Clause {
+	seen := map[string]bool{}
+	out := cls[:0]
+	for _, c := range cls {
+		norm, taut := cnf.NormalizeClause(c)
+		if taut {
+			continue
+		}
+		key := clauseKey(norm)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, norm)
+	}
+	return out
+}
+
+func clauseKey(c cnf.Clause) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, l := range c {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// subsumptionPass removes subsumed clauses and strengthens clauses by
+// self-subsuming resolution: if C ∨ l and D with D ⊆ C ∪ {¬l}, then
+// C ∨ l can be strengthened to C (remove l).
+func subsumptionPass(f *cnf.Formula) (subsumed, selfSubsumed int) {
+	// Occurrence lists by literal.
+	sort.Slice(f.Clauses, func(i, j int) bool { return len(f.Clauses[i]) < len(f.Clauses[j]) })
+	alive := make([]bool, len(f.Clauses))
+	for i := range alive {
+		alive[i] = true
+	}
+	occ := map[cnf.Lit][]int{}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], i)
+		}
+	}
+	isSubset := func(small, big cnf.Clause, flip cnf.Lit) bool {
+		// Checks small ⊆ (big with literal `flip` negated), both sorted.
+		inBig := func(l cnf.Lit) bool {
+			for _, b := range big {
+				target := b
+				if b == flip {
+					target = b.Not()
+				}
+				if target == l {
+					return true
+				}
+			}
+			return false
+		}
+		for _, l := range small {
+			if !inBig(l) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range f.Clauses {
+		if !alive[i] || len(c) == 0 {
+			continue
+		}
+		// Candidates: clauses sharing c's rarest literal.
+		rare := c[0]
+		for _, l := range c[1:] {
+			if len(occ[l]) < len(occ[rare]) {
+				rare = l
+			}
+		}
+		for _, j := range occ[rare] {
+			if j == i || !alive[j] || len(f.Clauses[j]) < len(c) {
+				continue
+			}
+			if isSubset(c, f.Clauses[j], 0) {
+				alive[j] = false
+				subsumed++
+			}
+		}
+		// Self-subsumption: for each literal l in c, does c with l
+		// flipped subsume some clause j? Then j can drop ¬l.
+		for _, l := range c {
+			for _, j := range occ[l.Not()] {
+				if j == i || !alive[j] || len(f.Clauses[j]) < len(c) {
+					continue
+				}
+				if isSubset(c, f.Clauses[j], 0) {
+					continue // fully subsumed handled above
+				}
+				// Does c ⊆ clauses[j] ∪ {l→¬l}? i.e. every lit of c other
+				// than l is in clauses[j], and ¬l ∈ clauses[j].
+				ok := true
+				for _, q := range c {
+					want := q
+					if q == l {
+						want = q.Not()
+					}
+					found := false
+					for _, b := range f.Clauses[j] {
+						if b == want {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					// Strengthen clause j: remove ¬l.
+					var nc cnf.Clause
+					for _, b := range f.Clauses[j] {
+						if b != l.Not() {
+							nc = append(nc, b)
+						}
+					}
+					f.Clauses[j] = nc
+					selfSubsumed++
+				}
+			}
+		}
+	}
+	out := f.Clauses[:0]
+	for i, c := range f.Clauses {
+		if alive[i] {
+			out = append(out, c)
+		}
+	}
+	f.Clauses = out
+	return subsumed, selfSubsumed
+}
+
+// eliminateVars performs bounded variable elimination on variables
+// outside the sampling set: a variable is eliminated by resolving all
+// its positive occurrences against all negative ones when the resolvent
+// count does not exceed the removed-clause count. Returns the number of
+// eliminated variables.
+func eliminateVars(f *cnf.Formula) int {
+	protected := map[cnf.Var]bool{}
+	for _, v := range f.SamplingSet {
+		protected[v] = true
+	}
+	// Variables in XOR clauses are left alone (elimination would need
+	// XOR-aware resolution).
+	for _, x := range f.XORs {
+		for _, v := range x.Vars {
+			protected[v] = true
+		}
+	}
+	eliminated := 0
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		if protected[v] {
+			continue
+		}
+		var pos, neg []int
+		occurs := false
+		for i, c := range f.Clauses {
+			for _, l := range c {
+				if l.Var() != v {
+					continue
+				}
+				occurs = true
+				if l.Neg() {
+					neg = append(neg, i)
+				} else {
+					pos = append(pos, i)
+				}
+			}
+		}
+		if !occurs || len(pos)*len(neg) > len(pos)+len(neg) {
+			continue
+		}
+		// Build resolvents.
+		var resolvents []cnf.Clause
+		ok := true
+		for _, pi := range pos {
+			for _, ni := range neg {
+				r, taut := resolve(f.Clauses[pi], f.Clauses[ni], v)
+				if taut {
+					continue
+				}
+				if len(r) == 0 {
+					ok = false // empty resolvent: formula unsat; bail out
+					break
+				}
+				resolvents = append(resolvents, r)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		drop := map[int]bool{}
+		for _, i := range pos {
+			drop[i] = true
+		}
+		for _, i := range neg {
+			drop[i] = true
+		}
+		var nc []cnf.Clause
+		for i, c := range f.Clauses {
+			if !drop[i] {
+				nc = append(nc, c)
+			}
+		}
+		nc = append(nc, resolvents...)
+		f.Clauses = dedupeClauses(nc)
+		eliminated++
+	}
+	return eliminated
+}
+
+// resolve computes the resolvent of a (containing v) and b (containing
+// ¬v) on v; taut reports a tautological resolvent.
+func resolve(a, b cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	var out cnf.Clause
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	return cnf.NormalizeClause(out)
+}

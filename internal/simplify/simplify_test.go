@@ -1,0 +1,220 @@
+package simplify
+
+import (
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+func TestUnitPropagationFixpoint(t *testing.T) {
+	f := cnf.New(4)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	f.AddClause(3, 4)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnitsFixed < 3 {
+		t.Fatalf("fixed %d units, want >= 3", res.UnitsFixed)
+	}
+	if sat.BruteForceCount(res.F) != sat.BruteForceCount(f) {
+		t.Fatal("unit propagation changed the model count")
+	}
+}
+
+func TestUnitConflictDetected(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat.BruteForceCount(res.F) != 0 {
+		t.Fatal("conflict not preserved")
+	}
+}
+
+func TestSubsumptionRemovesSuperset(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, 2, 3) // subsumed
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subsumed != 1 {
+		t.Fatalf("subsumed = %d, want 1", res.Subsumed)
+	}
+	if len(res.F.Clauses) != 1 {
+		t.Fatalf("clauses = %d, want 1", len(res.F.Clauses))
+	}
+}
+
+func TestSelfSubsumptionStrengthens(t *testing.T) {
+	// (1 ∨ 2) and (1 ∨ ¬2 ∨ 3): resolving on 2 gives (1 ∨ 3) ⊂ second,
+	// so the second strengthens to (1 ∨ 3).
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, -2, 3)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelfSubsumed < 1 {
+		t.Fatalf("selfSubsumed = %d, want >= 1", res.SelfSubsumed)
+	}
+	if sat.BruteForceCount(res.F) != sat.BruteForceCount(f) {
+		t.Fatal("self-subsumption changed the model count")
+	}
+}
+
+func TestXORRecoveryRoundTrip(t *testing.T) {
+	// Encode x1⊕x2⊕x3 = 1 as 4 CNF clauses; recovery must produce the
+	// native XOR back.
+	f := cnf.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(1, -2, -3)
+	f.AddClause(-1, 2, -3)
+	f.AddClause(-1, -2, 3)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XORsRecovered != 1 {
+		t.Fatalf("recovered = %d, want 1", res.XORsRecovered)
+	}
+	if len(res.F.XORs) != 1 || !res.F.XORs[0].RHS {
+		t.Fatalf("XOR = %+v, want rhs=true", res.F.XORs)
+	}
+	if len(res.F.Clauses) != 0 {
+		t.Fatalf("clauses left = %d, want 0", len(res.F.Clauses))
+	}
+	if sat.BruteForceCount(res.F) != 4 {
+		t.Fatalf("count = %d, want 4", sat.BruteForceCount(res.F))
+	}
+}
+
+func TestXORRecoveryEvenParity(t *testing.T) {
+	// x1⊕x2⊕x3 = 0.
+	f := cnf.New(3)
+	f.AddClause(-1, -2, -3)
+	f.AddClause(-1, 2, 3)
+	f.AddClause(1, -2, 3)
+	f.AddClause(1, 2, -3)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XORsRecovered != 1 || res.F.XORs[0].RHS {
+		t.Fatalf("recovered = %d, xors = %+v", res.XORsRecovered, res.F.XORs)
+	}
+}
+
+func TestXORRecoveryIgnoresPartialGroups(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(1, -2, -3)
+	f.AddClause(-1, 2, -3)
+	// 4th clause missing.
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XORsRecovered != 0 {
+		t.Fatalf("recovered = %d from incomplete group", res.XORsRecovered)
+	}
+}
+
+func TestXORRecoveryTseitinGate(t *testing.T) {
+	// The 4-clause Tseitin encoding of z = a⊕b is the XOR z⊕a⊕b = 0.
+	f := cnf.New(3)
+	f.AddClause(-3, 1, 2)
+	f.AddClause(-3, -1, -2)
+	f.AddClause(3, -1, 2)
+	f.AddClause(3, 1, -2)
+	res, err := Simplify(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XORsRecovered != 1 {
+		t.Fatalf("recovered = %d, want 1", res.XORsRecovered)
+	}
+}
+
+func TestBVEPreservesProjectedCount(t *testing.T) {
+	rng := randx.New(101)
+	for iter := 0; iter < 80; iter++ {
+		n := 4 + rng.Intn(6)
+		f := cnf.New(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			c := make(cnf.Clause, 0, 3)
+			for j := 0; j < 3; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(rng.Intn(n)+1), rng.Bool()))
+			}
+			f.AddClauseLits(c)
+		}
+		// Protect the first half as the sampling set.
+		for v := 1; v <= n/2; v++ {
+			f.SamplingSet = append(f.SamplingSet, cnf.Var(v))
+		}
+		before := sat.BruteForceProjectedCount(f, f.SamplingSet)
+		res, err := Simplify(f, Options{BVE: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.F.NumVars = f.NumVars // keep the var universe for brute force
+		after := sat.BruteForceProjectedCount(res.F, f.SamplingSet)
+		if before != after {
+			t.Fatalf("iter %d: projected count %d -> %d after BVE (%d vars eliminated)\nbefore:\n%s\nafter:\n%s",
+				iter, before, after, res.VarsEliminated,
+				cnf.DIMACSString(f), cnf.DIMACSString(res.F))
+		}
+	}
+}
+
+func TestSimplifyEquisatisfiableRandom(t *testing.T) {
+	rng := randx.New(102)
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(7)
+		f := cnf.New(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(rng.Intn(n)+1), rng.Bool()))
+			}
+			f.AddClauseLits(c)
+		}
+		res, err := Simplify(f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.F.NumVars = f.NumVars
+		// Without BVE every pass is equivalence-preserving: model count
+		// over the full universe must be identical.
+		if got, want := sat.BruteForceCount(res.F), sat.BruteForceCount(f); got != want {
+			t.Fatalf("iter %d: count %d -> %d\nbefore:\n%s\nafter:\n%s",
+				iter, want, got, cnf.DIMACSString(f), cnf.DIMACSString(res.F))
+		}
+	}
+}
+
+func TestSimplifyDoesNotMutateInput(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1)
+	f.AddClause(1, 2, 3)
+	before := cnf.DIMACSString(f)
+	if _, err := Simplify(f, Options{BVE: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cnf.DIMACSString(f) != before {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,163 @@
+package simplify
+
+import (
+	"sort"
+
+	"unigen/internal/cnf"
+)
+
+// recoverXORs detects groups of 2^(k-1) clauses over the same k
+// variables that together encode a parity constraint, removes them, and
+// adds the equivalent native XOR clause — CryptoMiniSAT's "xor
+// recovery". Tseitin-encoded XOR gates and hand-written parity CNF both
+// become visible to the solver's XOR engine this way.
+//
+// A clause set over variables {v1..vk} encodes ⊕vi = rhs exactly when
+// it contains, for every assignment with parity ≠ rhs, the clause
+// falsified only by that assignment: the clause whose literal for vi is
+// positive iff the assignment sets vi false. Equivalently: all 2^(k-1)
+// full-width clauses whose number of positive literals has parity
+// k - (rhs? 1: 0) ... determined below directly from one member.
+func recoverXORs(f *cnf.Formula, maxArity int) int {
+	// Group full candidate clauses by variable-set key.
+	groups := map[string][]int{}
+	for i, c := range f.Clauses {
+		k := len(c)
+		if k < 3 || k > maxArity {
+			continue
+		}
+		if hasDupVar(c) {
+			continue
+		}
+		groups[varsKey(c)] = append(groups[varsKey(c)], i)
+	}
+	removed := map[int]bool{}
+	recovered := 0
+	for _, idxs := range groups {
+		if len(idxs) < 4 {
+			continue
+		}
+		k := len(f.Clauses[idxs[0]])
+		need := 1 << uint(k-1)
+		if len(idxs) < need {
+			continue
+		}
+		// Partition the group's clauses by the parity of their negation
+		// count: an XOR with RHS=r is encoded by all clauses whose
+		// negated-literal count has a fixed parity.
+		byParity := map[bool][]int{}
+		seen := map[bool]map[uint32]bool{false: {}, true: {}}
+		for _, i := range idxs {
+			negs := 0
+			var mask uint32
+			for bit, l := range f.Clauses[i] {
+				if l.Neg() {
+					negs++
+					mask |= 1 << uint(bit)
+				}
+			}
+			par := negs%2 == 1
+			if !seen[par][mask] {
+				seen[par][mask] = true
+				byParity[par] = append(byParity[par], i)
+			}
+		}
+		for par, members := range byParity {
+			if len(members) < need {
+				continue
+			}
+			// Derive the encoded parity: a clause with negation mask m is
+			// falsified by the assignment that sets exactly the negated
+			// vars true; that assignment must violate the XOR. The
+			// violating parity is |m| mod 2 == par, so the XOR's RHS over
+			// the variables is the complement of that parity pattern:
+			// ⊕vi = rhs with rhs = !par ... verified by construction
+			// below and by the tests against brute force.
+			vars := make([]cnf.Var, 0, k)
+			for _, l := range f.Clauses[members[0]] {
+				vars = append(vars, l.Var())
+			}
+			sort.Slice(vars, func(a, b int) bool { return vars[a] < vars[b] })
+			rhs := !par
+			// Confirm the group is complete and consistent by checking
+			// it rules out exactly the assignments with parity != rhs.
+			if !confirmXOR(f, members, vars, rhs) {
+				continue
+			}
+			for _, i := range members[:need] {
+				removed[i] = true
+			}
+			f.AddXOR(vars, rhs)
+			recovered++
+		}
+	}
+	if recovered > 0 {
+		var nc []cnf.Clause
+		for i, c := range f.Clauses {
+			if !removed[i] {
+				nc = append(nc, c)
+			}
+		}
+		f.Clauses = nc
+	}
+	return recovered
+}
+
+// confirmXOR brute-force checks (over k ≤ maxArity variables) that the
+// member clauses admit exactly the assignments with ⊕vars = rhs.
+func confirmXOR(f *cnf.Formula, members []int, vars []cnf.Var, rhs bool) bool {
+	k := len(vars)
+	pos := map[cnf.Var]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	for m := 0; m < 1<<uint(k); m++ {
+		par := false
+		for i := 0; i < k; i++ {
+			if m&(1<<uint(i)) != 0 {
+				par = !par
+			}
+		}
+		allowed := true // does every member clause accept assignment m?
+		for _, ci := range members {
+			sat := false
+			for _, l := range f.Clauses[ci] {
+				bit := m&(1<<uint(pos[l.Var()])) != 0
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				allowed = false
+				break
+			}
+		}
+		if allowed != (par == rhs) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasDupVar(c cnf.Clause) bool {
+	for i := 1; i < len(c); i++ {
+		if c[i].Var() == c[i-1].Var() {
+			return true
+		}
+	}
+	return false
+}
+
+func varsKey(c cnf.Clause) string {
+	vs := make([]int, len(c))
+	for i, l := range c {
+		vs[i] = int(l.Var())
+	}
+	sort.Ints(vs)
+	b := make([]byte, 0, len(vs)*4)
+	for _, v := range vs {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

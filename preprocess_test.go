@@ -1,0 +1,91 @@
+package unigen
+
+import "testing"
+
+func TestSimplifyPublicAPI(t *testing.T) {
+	f := NewFormula(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(1, -2, -3)
+	f.AddClause(-1, 2, -3)
+	f.AddClause(-1, -2, 3)
+	g, st, err := Simplify(f, SimplifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.XORsRecovered != 1 || len(g.XORs) != 1 {
+		t.Fatalf("stats = %+v, xors = %d", st, len(g.XORs))
+	}
+	// Sampling still works on the simplified formula.
+	s, err := NewSampler(g, Options{Epsilon: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Satisfies(g) || !w.Satisfies(f) {
+		t.Fatal("witness invalid after simplification")
+	}
+}
+
+func TestIndependentSupportPublicAPI(t *testing.T) {
+	f := NewFormula(3)
+	f.AddXOR([]Var{1, 2, 3}, false) // x3 = x1⊕x2
+	ok, err := IsIndependentSupport(f, []Var{1, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("{1,2} rejected")
+	}
+	s, err := FindIndependentSupport(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("minimal support = %v", s)
+	}
+	m, err := MinimizeIndependentSupport(f, []Var{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("minimized = %v", m)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// The full downstream workflow: parse → simplify → verify support →
+	// sample → count.
+	src := `c ind 1 2 3 4 0
+p cnf 6 6
+1 2 5 0
+-5 6 0
+x1 2 6 0
+3 4 0
+-3 4 0
+4 0
+`
+	f, err := ParseDIMACSString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := Simplify(f, SimplifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(g, Options{Epsilon: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.SampleN(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if !w.Satisfies(g) {
+			t.Fatal("invalid witness")
+		}
+	}
+}

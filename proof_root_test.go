@@ -1,0 +1,27 @@
+package unigen
+
+import "testing"
+
+func TestProveUnsat(t *testing.T) {
+	f := NewFormula(3)
+	f.AddXOR([]Var{1, 2}, true)
+	f.AddXOR([]Var{2, 3}, true)
+	f.AddXOR([]Var{3, 1}, true)
+	unsat, err := ProveUnsat(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unsat {
+		t.Fatal("odd XOR cycle reported SAT")
+	}
+
+	g := NewFormula(2)
+	g.AddClause(1, 2)
+	unsat, err = ProveUnsat(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsat {
+		t.Fatal("satisfiable formula reported UNSAT")
+	}
+}

@@ -1,0 +1,219 @@
+// Package unigen is a from-scratch Go implementation of UniGen, the
+// almost-uniform SAT-witness generator of Chakraborty, Meel and Vardi
+// ("Balancing Scalability and Uniformity in SAT Witness Generator",
+// DAC 2014), together with every substrate the paper builds on: a CDCL
+// SAT solver with native XOR-clause propagation, the H_xor(n,m,3) hash
+// family, bounded model enumeration (BSAT), exact and approximate model
+// counting (sharpSAT-style #SAT and ApproxMC), the UniWit and XORSample′
+// baselines, and circuit/benchmark generators reproducing the paper's
+// evaluation.
+//
+// # Quick start
+//
+//	f, _ := unigen.ParseDIMACSString(dimacs) // "c ind ..." lines set the sampling set
+//	s, _ := unigen.NewSampler(f, unigen.Options{Epsilon: 6, Seed: 1})
+//	w, _ := s.Sample()
+//	fmt.Println(w.Bits(f.SamplingSet))
+//
+// Given a tolerance ε > 1.71 and a sampling set S that is an
+// independent support of F, every witness y of F is returned with
+// probability within a (1+ε) factor of uniform (Theorem 1 of the
+// paper), and each call succeeds with probability at least 0.62.
+package unigen
+
+import (
+	"errors"
+	"io"
+	"math/big"
+
+	"unigen/internal/cnf"
+	"unigen/internal/core"
+	"unigen/internal/counter"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// Var is a propositional variable (1-based, DIMACS convention).
+type Var = cnf.Var
+
+// Formula is a CNF formula, optionally extended with native XOR clauses
+// and a sampling set (intended to be an independent support).
+type Formula = cnf.Formula
+
+// NewFormula returns an empty formula over n variables. Add clauses
+// with AddClause (signed DIMACS literals) and parity constraints with
+// AddXOR.
+func NewFormula(n int) *Formula { return cnf.New(n) }
+
+// ParseDIMACS reads a DIMACS CNF file, honoring "c ind ... 0" sampling
+// set lines and CryptoMiniSAT-style "x..." XOR clause lines.
+func ParseDIMACS(r io.Reader) (*Formula, error) { return cnf.ParseDIMACS(r) }
+
+// ParseDIMACSString parses DIMACS text.
+func ParseDIMACSString(s string) (*Formula, error) { return cnf.ParseDIMACSString(s) }
+
+// WriteDIMACS serializes a formula, including sampling set and XOR
+// clauses.
+func WriteDIMACS(w io.Writer, f *Formula) error { return cnf.WriteDIMACS(w, f) }
+
+// Witness is a satisfying assignment.
+type Witness struct {
+	a cnf.Assignment
+}
+
+// Get returns the value of variable v.
+func (w Witness) Get(v Var) bool { return w.a.Get(v) }
+
+// Bits returns the values of the given variables in order.
+func (w Witness) Bits(vars []Var) []bool { return w.a.ProjectBits(vars) }
+
+// Satisfies reports whether the witness satisfies f.
+func (w Witness) Satisfies(f *Formula) bool { return w.a.Satisfies(f) }
+
+// ErrFailed is returned by Sample for the ⊥ outcome of Algorithm 1
+// (probability at most 0.38 per round; simply retry).
+var ErrFailed = core.ErrFailed
+
+// Options configures a Sampler.
+type Options struct {
+	// Epsilon is the uniformity tolerance; must exceed 1.71
+	// (the paper's experiments use 6).
+	Epsilon float64
+	// SamplingSet overrides the formula's sampling set. It should be an
+	// independent support of the formula; the guarantee of Theorem 1 is
+	// conditional on that.
+	SamplingSet []Var
+	// Seed makes the sampler deterministic.
+	Seed uint64
+	// MaxConflicts bounds each internal SAT call (0 = unlimited),
+	// standing in for the paper's per-call wall-clock timeout.
+	MaxConflicts int64
+	// MaxPropagations additionally bounds per-call propagation work
+	// (0 = unlimited); useful on instances with very long XOR rows.
+	MaxPropagations int64
+	// GaussJordan enables Gauss–Jordan XOR preprocessing in the solver.
+	GaussJordan bool
+	// ApproxMCRounds caps the setup-time approximate-counter iterations
+	// (0 keeps the paper's confidence parameters).
+	ApproxMCRounds int
+}
+
+// Sampler draws almost-uniform witnesses of one formula. The expensive
+// setup (an approximate model count) runs once in NewSampler; each
+// Sample call is cheap — the amortization that distinguishes UniGen
+// from its predecessors.
+type Sampler struct {
+	inner *core.Sampler
+	rng   *randx.RNG
+	f     *Formula
+}
+
+// NewSampler validates options and runs UniGen's setup phase.
+func NewSampler(f *Formula, opts Options) (*Sampler, error) {
+	rng := randx.New(opts.Seed ^ 0x0dac2014)
+	inner, err := core.NewSampler(f, rng, core.Options{
+		Epsilon:        opts.Epsilon,
+		SamplingSet:    opts.SamplingSet,
+		Solver:         sat.Config{MaxConflicts: opts.MaxConflicts, MaxPropagations: opts.MaxPropagations, GaussJordan: opts.GaussJordan, Seed: opts.Seed},
+		ApproxMCRounds: opts.ApproxMCRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{inner: inner, rng: rng, f: f}, nil
+}
+
+// Sample returns one almost-uniform witness, or ErrFailed for a ⊥
+// round (retry), or another error for unsatisfiable formulas / budget
+// exhaustion.
+func (s *Sampler) Sample() (Witness, error) {
+	w, err := s.inner.Sample(s.rng)
+	if err != nil {
+		return Witness{}, err
+	}
+	return Witness{a: w}, nil
+}
+
+// SampleN returns n witnesses, transparently retrying ⊥ rounds.
+func (s *Sampler) SampleN(n int) ([]Witness, error) {
+	ws, _, err := s.inner.SampleMany(s.rng, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Witness, len(ws))
+	for i, w := range ws {
+		out[i] = Witness{a: w}
+	}
+	return out, nil
+}
+
+// Stats reports observable sampler behaviour.
+type Stats struct {
+	Samples   int64   // successful samples
+	Failures  int64   // ⊥ rounds
+	SuccProb  float64 // Samples / (Samples+Failures)
+	AvgXORLen float64 // mean XOR-clause length issued for hashing
+	EasyCase  bool    // formula had few enough witnesses to enumerate
+}
+
+// Stats returns a snapshot.
+func (s *Sampler) Stats() Stats {
+	st := s.inner.Stats()
+	return Stats{
+		Samples:   st.Samples,
+		Failures:  st.Failures,
+		SuccProb:  st.SuccessProb(),
+		AvgXORLen: st.AvgXORLen(),
+		EasyCase:  st.EasyCase,
+	}
+}
+
+// Solve checks satisfiability of f with the built-in CDCL+XOR solver
+// and returns a witness when satisfiable.
+func Solve(f *Formula, opts Options) (Witness, bool, error) {
+	s := sat.New(f, sat.Config{MaxConflicts: opts.MaxConflicts, MaxPropagations: opts.MaxPropagations, GaussJordan: opts.GaussJordan, Seed: opts.Seed})
+	switch s.Solve() {
+	case sat.Sat:
+		return Witness{a: s.Model()}, true, nil
+	case sat.Unsat:
+		return Witness{}, false, nil
+	default:
+		return Witness{}, false, errors.New("unigen: solver budget exhausted")
+	}
+}
+
+// ApproxCount estimates the number of witnesses of f projected onto its
+// sampling set, within a (1+epsilon) factor with confidence 1-delta
+// (the ApproxMC algorithm, CP 2013).
+func ApproxCount(f *Formula, epsilon, delta float64, opts Options) (*big.Int, error) {
+	rng := randx.New(opts.Seed ^ 0xa99c0c13)
+	res, err := counter.ApproxMC(f, rng, counter.ApproxMCOptions{
+		Epsilon:     epsilon,
+		Delta:       delta,
+		SamplingSet: opts.SamplingSet,
+		Solver:      sat.Config{MaxConflicts: opts.MaxConflicts, MaxPropagations: opts.MaxPropagations, GaussJordan: opts.GaussJordan, Seed: opts.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Count, nil
+}
+
+// ExactCount counts witnesses of f over all variables with the
+// component-caching #SAT engine. XOR clauses wider than 12 variables
+// are rejected (expand them or use ApproxCount).
+func ExactCount(f *Formula) (*big.Int, error) {
+	return counter.ExactSharpSAT(f)
+}
+
+// ExactProjectedCount counts witnesses projected on the sampling set by
+// enumeration, up to limit (error beyond it).
+func ExactProjectedCount(f *Formula, limit int) (*big.Int, error) {
+	return counter.ExactProjected(f, limit, sat.Config{})
+}
+
+// MinEpsilon is the smallest admissible tolerance (exclusive bound).
+const MinEpsilon = core.MinEpsilon
+
+// Version identifies the library release.
+const Version = "1.0.0"

@@ -1,0 +1,213 @@
+package unigen
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+const demoDIMACS = `c demo: (x1 ∨ x2) with x3 free
+c ind 1 2 3 0
+p cnf 3 1
+1 2 0
+`
+
+func TestParseAndSolve(t *testing.T) {
+	f, err := ParseDIMACSString(demoDIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, sat, err := Solve(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Fatal("demo formula should be SAT")
+	}
+	if !w.Satisfies(f) {
+		t.Fatal("invalid witness")
+	}
+}
+
+func TestSamplerEndToEnd(t *testing.T) {
+	f, err := ParseDIMACSString(demoDIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(f, Options{Epsilon: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3500
+	for i := 0; i < n; i++ {
+		w, err := s.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.Satisfies(f) {
+			t.Fatal("invalid witness")
+		}
+		key := ""
+		for _, b := range w.Bits(f.SamplingSet) {
+			if b {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		counts[key]++
+	}
+	if len(counts) != 6 { // 3 over {x1,x2} × 2 over x3
+		t.Fatalf("distinct witnesses = %d, want 6", len(counts))
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-n/6.0) > 6*math.Sqrt(n/6.0) {
+			t.Fatalf("witness %s count %d far from uniform %d", k, c, n/6)
+		}
+	}
+	st := s.Stats()
+	if st.Samples != n || st.SuccProb != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	f := NewFormula(10)
+	f.AddClause(1, 2, 3)
+	s, err := NewSampler(f, Options{Epsilon: 6, Seed: 2, ApproxMCRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.SampleN(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 20 {
+		t.Fatalf("got %d witnesses", len(ws))
+	}
+	for _, w := range ws {
+		if !w.Satisfies(f) {
+			t.Fatal("invalid witness")
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	f := NewFormula(2)
+	if _, err := NewSampler(f, Options{Epsilon: 1.5}); err == nil {
+		t.Fatal("epsilon 1.5 accepted")
+	}
+}
+
+func TestExactCount(t *testing.T) {
+	f := NewFormula(4)
+	f.AddClause(1, 2)
+	got, err := ExactCount(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(12)) != 0 {
+		t.Fatalf("count = %v, want 12", got)
+	}
+}
+
+func TestExactProjectedCount(t *testing.T) {
+	f := NewFormula(4)
+	f.AddClause(1, 2)
+	f.SamplingSet = []Var{1, 2}
+	got, err := ExactProjectedCount(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("count = %v, want 3", got)
+	}
+}
+
+func TestApproxCount(t *testing.T) {
+	f := NewFormula(9) // 512 models
+	got, err := ApproxCount(f, 0.8, 0.2, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := new(big.Float).SetInt(got)
+	lo, hi := big.NewFloat(512/1.8), big.NewFloat(512*1.8)
+	if v.Cmp(lo) < 0 || v.Cmp(hi) > 0 {
+		t.Fatalf("ApproxCount = %v, want within [%v,%v]", got, lo, hi)
+	}
+}
+
+func TestXORClauseRoundTrip(t *testing.T) {
+	f := NewFormula(3)
+	f.AddXOR([]Var{1, 2, 3}, true)
+	var sb strings.Builder
+	if err := WriteDIMACS(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACSString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.XORs) != 1 || !g.XORs[0].RHS {
+		t.Fatalf("round trip lost XOR: %+v", g.XORs)
+	}
+}
+
+func TestUnsatSampling(t *testing.T) {
+	f := NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	s, err := NewSampler(f, Options{Epsilon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample(); err == nil || errors.Is(err, ErrFailed) {
+		t.Fatalf("unsat sampling: err = %v", err)
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	f := NewFormula(2)
+	f.AddXOR([]Var{1, 2}, true)
+	f.AddXOR([]Var{1, 2}, false)
+	_, sat, err := Solve(f, Options{GaussJordan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Fatal("unsat formula reported SAT")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	f := NewFormula(8)
+	f.AddClause(1, 2, 3)
+	run := func() string {
+		s, err := NewSampler(f, Options{Epsilon: 6, Seed: 99, ApproxMCRounds: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.SampleN(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, w := range ws {
+			for _, b := range w.Bits(f.SamplingVars()) {
+				if b {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different sample streams")
+	}
+}

@@ -1,0 +1,70 @@
+// BenchmarkIncrementalSession (experiment E8 of DESIGN.md §4) contrasts
+// the two BSAT engines on the per-cell enumeration pattern UniGen's
+// Sample loop issues thousands of times: conjoin a fresh m-row XOR hash,
+// enumerate up to hiThresh+1 witnesses, repeat.
+//
+//	fresh/    – stateless bsat.Enumerate: sat.New re-ingests the base
+//	            CNF on every call and discards all learned clauses.
+//	session/  – one bsat.Session: hash rows and blocking clauses come
+//	            and go as removable constraints on a single solver.
+//
+// The interesting number is the ratio: the session path skips the
+// per-call O(formula) rebuild and amortizes learned clauses across the
+// whole run.
+package unigen
+
+import (
+	"fmt"
+	"testing"
+
+	"unigen/internal/benchgen"
+	"unigen/internal/bsat"
+	"unigen/internal/hashfam"
+	"unigen/internal/randx"
+)
+
+func BenchmarkIncrementalSession(b *testing.B) {
+	// EnqueueSeqSK is a Table 1 row (sketch family); case110 is the
+	// Figure 1 instance. Both have small sampling sets over a much
+	// larger Tseitin encoding, the regime the paper targets.
+	for _, tc := range []struct {
+		name string
+		m    int // hash bits per cell, in the q−3..q band for the instance
+	}{
+		{"EnqueueSeqSK", 8},
+		{"case110", 8},
+	} {
+		inst, err := benchgen.Generate(tc.name, benchgen.ScaleSmall, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vars := inst.F.SamplingVars()
+		const hiThresh = 88
+		opts := bsat.Options{Solver: benchSolverCfg()}
+
+		b.Run(fmt.Sprintf("%s/fresh", tc.name), func(b *testing.B) {
+			rng := randx.New(benchSeed)
+			for i := 0; i < b.N; i++ {
+				h := hashfam.Draw(rng, vars, tc.m)
+				res := bsat.Enumerate(inst.F, hiThresh, bsat.Options{
+					Hash: h, Solver: opts.Solver,
+				})
+				if res.BudgetExceeded {
+					b.Fatal("budget exceeded")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/session", tc.name), func(b *testing.B) {
+			rng := randx.New(benchSeed)
+			sess := bsat.NewSession(inst.F, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := hashfam.Draw(rng, vars, tc.m)
+				res := sess.Enumerate(hiThresh, h)
+				if res.BudgetExceeded {
+					b.Fatal("budget exceeded")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module unigen
+
+go 1.24

@@ -7,6 +7,16 @@
 // variables: because the sampling set is an independent support, two
 // witnesses agreeing on it are the same witness for counting and
 // sampling purposes, and short blocking clauses keep the solver fast.
+//
+// Two entry points are provided. Enumerate is the stateless call: it
+// builds a solver, enumerates, and throws the solver away. Session is
+// the incremental engine behind a whole sampling or counting run: the
+// base formula is loaded once, hash XOR rows and per-cell blocking
+// clauses are installed as removable constraints (activation literals
+// passed to Solve as assumptions), and learned clauses survive from one
+// BSAT call to the next. UniGen issues thousands of BSAT calls per
+// session, so not re-ingesting the formula and not discarding the
+// learned-clause database on every call is the dominant hot-path win.
 package bsat
 
 import (
@@ -28,7 +38,8 @@ type Result struct {
 	// BSAT timeout. Witnesses found before exhaustion are still
 	// returned.
 	BudgetExceeded bool
-	// Stats aggregates solver statistics for the call.
+	// Stats aggregates solver statistics for the call. For Session
+	// enumerations this is the per-call delta, not the cumulative total.
 	Stats sat.Stats
 }
 
@@ -38,14 +49,167 @@ type Options struct {
 	// to these variables. Empty means all variables of the formula.
 	SamplingSet []cnf.Var
 	// Hash, when non-nil, conjoins random XOR constraints
-	// h(samplingVars) = α to the formula for this call only.
+	// h(samplingVars) = α to the formula for this call only. Only read
+	// by the stateless Enumerate; sessions take the hash per call.
 	Hash *hashfam.Hash
 	// Solver configuration (conflict budget, Gauss-Jordan, seed).
 	Solver sat.Config
 }
 
+// rebuildEvery bounds selector-variable accumulation: after this many
+// removable constraints the session rebuilds its solver from the base
+// formula, reclaiming the per-variable arrays (and, incidentally,
+// retiring any stale learned clauses reduceDB has not reclaimed yet).
+const rebuildEvery = 1 << 15
+
+// Session is an incremental BSAT engine: one solver reused across every
+// Enumerate call of a sampling/counting run. Not safe for concurrent
+// use. Proof recording (sat.Config.RecordProof) is not supported on
+// sessions — guarded constraints and release units are not part of the
+// axiom stream a checker expects; use the stateless Enumerate for
+// proof-carrying calls.
+type Session struct {
+	f    *cnf.Formula
+	nv   int // f.NumVars at session start; models are truncated to it
+	vars []cnf.Var
+	cfg  sat.Config
+
+	s        *sat.Solver
+	retired  []*sat.Selector // constraints of the previous call, released lazily
+	assumps  []cnf.Lit       // scratch: activation literals for the current call
+	blockBuf cnf.Clause      // scratch: blocking clause, reused across witnesses
+	selCount int             // selectors allocated since the last (re)build
+}
+
+// NewSession builds the solver for f once. opts.Hash is ignored; pass
+// the per-call hash to Enumerate.
+func NewSession(f *cnf.Formula, opts Options) *Session {
+	vars := opts.SamplingSet
+	if len(vars) == 0 {
+		vars = f.SamplingVars()
+	}
+	cfg := opts.Solver
+	if len(cfg.PriorityVars) == 0 && len(vars) < f.NumVars {
+		// Branch on the sampling set first: for Tseitin-style formulas
+		// the rest of the assignment then follows by propagation, which
+		// makes enumeration nearly conflict-free.
+		cfg.PriorityVars = vars
+	}
+	cfg.RecordProof = false
+	se := &Session{f: f, nv: f.NumVars, vars: vars, cfg: cfg}
+	se.s = sat.New(f, cfg)
+	se.s.SetModelBound(se.nv)
+	return se
+}
+
+// SamplingSet returns the variables blocking clauses range over.
+func (se *Session) SamplingSet() []cnf.Var { return se.vars }
+
+// rebuild replaces the solver with a fresh one loaded from the base
+// formula, dropping all removable constraints and learned clauses.
+func (se *Session) rebuild() {
+	se.s = sat.New(se.f, se.cfg)
+	se.s.SetModelBound(se.nv)
+	se.retired = se.retired[:0]
+	se.selCount = 0
+}
+
+// retire releases the previous call's removable constraints — or
+// rebuilds the solver outright when its level-0 state may depend on a
+// removable XOR (see sat.Solver.Tainted) or when selector variables
+// have accumulated past the rebuild threshold.
+func (se *Session) retire() {
+	if se.s.Tainted() || se.selCount >= rebuildEvery {
+		se.rebuild()
+		return
+	}
+	for _, sel := range se.retired {
+		se.s.Release(sel)
+	}
+	se.retired = se.retired[:0]
+	// Learned clauses guarded by the released selectors are now
+	// permanently satisfied; reclaim them so propagation does not keep
+	// visiting dead weight for the rest of the session.
+	se.s.CollectGarbage()
+}
+
+// Enumerate returns up to n witnesses of f ∧ h, pairwise distinct on the
+// sampling set. The hash rows are installed as removable XOR
+// constraints and the previous call's hash and blocking clauses are
+// released first, so consecutive calls reuse all accumulated solver
+// state. h may be nil (enumeration of f itself).
+func (se *Session) Enumerate(n int, h *hashfam.Hash) Result {
+	se.retire()
+	sels := se.retired[:0]
+	acts := se.assumps[:0]
+	if h != nil {
+		for _, r := range h.Rows {
+			sel := se.s.AddXORRemovable(r.Vars, r.RHS)
+			sels = append(sels, sel)
+			acts = append(acts, sel.Lit())
+		}
+	}
+	before := se.s.Stats()
+	var res Result
+	var blockSel *sat.Selector // one selector guards every blocking clause of this cell
+loop:
+	for len(res.Witnesses) < n {
+		switch se.s.Solve(acts...) {
+		case sat.Sat:
+			// Model length is capped at nv+1 by SetModelBound, so
+			// selector variables never leak into witnesses.
+			m := se.s.Model()
+			res.Witnesses = append(res.Witnesses, m)
+			se.blockBuf = se.blockBuf[:0]
+			for _, v := range se.vars {
+				se.blockBuf = append(se.blockBuf, cnf.MkLit(v, m.Get(v)))
+			}
+			if blockSel == nil {
+				blockSel = se.s.NewClauseSelector()
+				sels = append(sels, blockSel)
+				acts = append(acts, blockSel.Lit())
+			}
+			se.s.AddClauseToSelector(blockSel, se.blockBuf)
+		case sat.Unsat:
+			res.Exhausted = true
+			break loop
+		default:
+			res.BudgetExceeded = true
+			break loop
+		}
+	}
+	se.selCount += len(sels)
+	se.retired = sels
+	se.assumps = acts
+	res.Stats = statsDelta(se.s.Stats(), before)
+	return res
+}
+
+// Count returns min(|R_{F∧h}↓S|, n) via the session, plus the full result.
+func (se *Session) Count(n int, h *hashfam.Hash) (int, Result) {
+	res := se.Enumerate(n, h)
+	return len(res.Witnesses), res
+}
+
+func statsDelta(after, before sat.Stats) sat.Stats {
+	return sat.Stats{
+		Decisions:    after.Decisions - before.Decisions,
+		Propagations: after.Propagations - before.Propagations,
+		Conflicts:    after.Conflicts - before.Conflicts,
+		Restarts:     after.Restarts - before.Restarts,
+		Learned:      after.Learned - before.Learned,
+		RemovedDB:    after.RemovedDB - before.RemovedDB,
+		XORProps:     after.XORProps - before.XORProps,
+		GaussUnits:   after.GaussUnits - before.GaussUnits,
+	}
+}
+
 // Enumerate returns up to n witnesses of f (conjoined with opts.Hash if
-// set), pairwise distinct on the sampling set.
+// set), pairwise distinct on the sampling set. It is the stateless
+// variant: a throwaway solver with the hash and blocking clauses
+// installed permanently — no guard literals, no assumptions — so its
+// search trajectory (and therefore every seeded baseline and test)
+// matches the pre-session behaviour exactly.
 func Enumerate(f *cnf.Formula, n int, opts Options) Result {
 	vars := opts.SamplingSet
 	if len(vars) == 0 {
@@ -53,9 +217,6 @@ func Enumerate(f *cnf.Formula, n int, opts Options) Result {
 	}
 	solverCfg := opts.Solver
 	if len(solverCfg.PriorityVars) == 0 && len(vars) < f.NumVars {
-		// Branch on the sampling set first: for Tseitin-style formulas
-		// the rest of the assignment then follows by propagation, which
-		// makes enumeration nearly conflict-free.
 		solverCfg.PriorityVars = vars
 	}
 	s := sat.New(f, solverCfg)
@@ -70,12 +231,13 @@ func Enumerate(f *cnf.Formula, n int, opts Options) Result {
 		}
 	}
 	var res Result
+	var block cnf.Clause // reused across witnesses; AddClause copies
 	for len(res.Witnesses) < n {
 		switch s.Solve() {
 		case sat.Sat:
 			m := s.Model()
 			res.Witnesses = append(res.Witnesses, m)
-			block := make(cnf.Clause, 0, len(vars))
+			block = block[:0]
 			for _, v := range vars {
 				block = append(block, cnf.MkLit(v, m.Get(v)))
 			}

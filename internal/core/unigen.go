@@ -86,6 +86,12 @@ type Sampler struct {
 	kp   KappaPivot
 	opts Options
 
+	// sess is the incremental BSAT engine shared by the easy-case
+	// enumeration and every Sample/SampleBatch round: the formula is
+	// loaded into the solver once per Sampler, and hash rows/blocking
+	// clauses come and go as removable constraints.
+	sess *bsat.Session
+
 	easy    []cnf.Assignment // all witnesses when |R_F| ≤ hiThresh (lines 5–7)
 	easySet bool             // true when `easy` is authoritative (incl. UNSAT)
 	q       int              // line 10
@@ -111,10 +117,11 @@ func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) 
 		s = f.SamplingVars()
 	}
 	smp := &Sampler{f: f, s: s, kp: kp, opts: opts}
+	smp.sess = bsat.NewSession(f, bsat.Options{SamplingSet: s, Solver: opts.Solver})
 
 	// Lines 4–7: if F has at most hiThresh witnesses, enumerate them
 	// once and sample by index forever after.
-	res := bsat.Enumerate(f, kp.HiThresh+1, bsat.Options{SamplingSet: s, Solver: opts.Solver})
+	res := smp.sess.Enumerate(kp.HiThresh+1, nil)
 	if res.BudgetExceeded {
 		return nil, fmt.Errorf("%w (easy-case enumeration)", ErrBudget)
 	}
@@ -216,12 +223,8 @@ func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
 			h := hashfam.Draw(rng, smp.s, m)
 			smp.stats.XORRows += int64(h.M())
 			smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
-			// Line 16.
-			res = bsat.Enumerate(smp.f, kp.HiThresh+1, bsat.Options{
-				SamplingSet: smp.s,
-				Hash:        h,
-				Solver:      smp.opts.Solver,
-			})
+			// Line 16, on the shared incremental session.
+			res = smp.sess.Enumerate(kp.HiThresh+1, h)
 			smp.stats.BSATCalls++
 			if !res.BudgetExceeded {
 				ok = true
@@ -277,11 +280,7 @@ func (smp *Sampler) SampleBatch(rng *randx.RNG, k int) ([]cnf.Assignment, error)
 		h := hashfam.Draw(rng, smp.s, m)
 		smp.stats.XORRows += int64(h.M())
 		smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
-		res := bsat.Enumerate(smp.f, kp.HiThresh+1, bsat.Options{
-			SamplingSet: smp.s,
-			Hash:        h,
-			Solver:      smp.opts.Solver,
-		})
+		res := smp.sess.Enumerate(kp.HiThresh+1, h)
 		smp.stats.BSATCalls++
 		if res.BudgetExceeded {
 			return nil, ErrBudget

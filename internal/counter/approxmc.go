@@ -94,8 +94,13 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 		t = opts.MaxHashRounds
 	}
 
+	// One incremental BSAT session serves the base call and every cell
+	// probe of every round: the formula is ingested once and learned
+	// clauses amortize across the whole leapfrog/linear search over m.
+	sess := bsat.NewSession(f, bsat.Options{SamplingSet: vars, Solver: opts.Solver})
+
 	// Quick exit: if |R_F↓S| <= pivot the count is exact.
-	n, res := bsat.Count(f, pivot+1, bsat.Options{SamplingSet: vars, Solver: opts.Solver})
+	n, res := sess.Count(pivot+1, nil)
 	if res.BudgetExceeded {
 		return ApproxMCResult{}, fmt.Errorf("counter: BSAT budget exhausted in ApproxMC base call")
 	}
@@ -108,7 +113,7 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 	var xorRows int
 	startAt := 1
 	for round := 0; round < t; round++ {
-		est, lastI, avgLen, rows, err := approxMCCore(f, vars, pivot, startAt, rng, opts.Solver)
+		est, lastI, avgLen, rows, err := approxMCCore(sess, vars, pivot, startAt, rng)
 		if err != nil {
 			return ApproxMCResult{}, err
 		}
@@ -138,8 +143,9 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 // approxMCCore adds i = startAt, startAt+1, ... random XOR constraints
 // until the cell becomes small enough, then scales. It returns the
 // estimate (nil when the loop runs out of hash bits or hits an empty
-// cell) and the i at which it succeeded.
-func approxMCCore(f *cnf.Formula, vars []cnf.Var, pivot, startAt int, rng *randx.RNG, solver sat.Config) (*big.Int, int, float64, int, error) {
+// cell) and the i at which it succeeded. All cell probes run on the
+// caller's incremental session.
+func approxMCCore(sess *bsat.Session, vars []cnf.Var, pivot, startAt int, rng *randx.RNG) (*big.Int, int, float64, int, error) {
 	var lenSum float64
 	rows := 0
 	if startAt < 1 {
@@ -149,7 +155,7 @@ func approxMCCore(f *cnf.Formula, vars []cnf.Var, pivot, startAt int, rng *randx
 		h := hashfam.Draw(rng, vars, i)
 		lenSum += h.AverageLen() * float64(h.M())
 		rows += h.M()
-		cnt, res := bsat.Count(f, pivot+1, bsat.Options{SamplingSet: vars, Hash: h, Solver: solver})
+		cnt, res := sess.Count(pivot+1, h)
 		if res.BudgetExceeded {
 			return nil, i, avgOf(lenSum, rows), rows, fmt.Errorf("counter: BSAT budget exhausted at %d hash bits", i)
 		}

@@ -24,9 +24,12 @@ func ExactProjected(f *cnf.Formula, limit int, solver sat.Config) (*big.Int, err
 
 // EnumerateProjected returns every witness of f, distinct on the
 // sampling set, up to limit (error if exceeded or if the solver budget
-// is exhausted).
+// is exhausted). It runs on the incremental session engine: one
+// solver, with all blocking clauses installed as a single removable
+// group (one extra assumption per Solve).
 func EnumerateProjected(f *cnf.Formula, limit int, solver sat.Config) ([]cnf.Assignment, error) {
-	res := bsat.Enumerate(f, limit+1, bsat.Options{Solver: solver})
+	sess := bsat.NewSession(f, bsat.Options{Solver: solver})
+	res := sess.Enumerate(limit+1, nil)
 	if res.BudgetExceeded {
 		return nil, fmt.Errorf("counter: solver budget exhausted after %d witnesses", len(res.Witnesses))
 	}

@@ -1,0 +1,295 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// Incremental solving with retractable constraints.
+//
+// A Selector guards a group of constraints behind a fresh activation
+// variable so that they can be switched on per Solve call (by passing
+// the selector's activation literal as an assumption) and later deleted
+// outright with Release. This is the mechanism that lets one solver —
+// with its watch lists, variable activities, and learned clauses — serve
+// every BSAT call of a sampling or counting run instead of being rebuilt
+// per call:
+//
+//   - a CNF clause C is stored as (C ∨ ¬a). Assuming a reduces it to C;
+//     leaving a unconstrained lets the solver satisfy the guard for free.
+//   - an XOR row ⊕vars = rhs is stored as ⊕vars ⊕ a = rhs. Assuming ¬a
+//     enforces the row; otherwise a absorbs the parity.
+//
+// Every learned clause whose derivation used a guarded constraint
+// contains the negation of that constraint's activation literal (the
+// assumption is a decision, so conflict analysis cannot resolve it
+// away). Release therefore (1) hard-deletes the guarded constraints and
+// (2) fixes the activation variable at level 0 to the polarity that
+// permanently satisfies those learned clauses, which keeps the clause
+// database sound without scanning it; reduceDB reclaims the dead
+// clauses on its normal schedule.
+//
+// Level-0 escape hatch: if a removable XOR ever propagates or conflicts
+// at decision level 0 (possible only when its selector got fixed at
+// level 0 first, e.g. by a learned unit meaning "this cell is empty"),
+// the top-level trail would outlive the constraint's deletion. The
+// solver flags this with taintL0; results of the call in which the
+// taint arose are still valid (all tainting constraints are attached
+// and active until the call returns), but the solver must be rebuilt
+// before the next call. Sessions poll Tainted and rebuild — in practice
+// this is vanishingly rare.
+
+// Selector identifies a removable group of constraints.
+type Selector struct {
+	act      cnf.Lit
+	cls      []*clause
+	xors     []int32
+	released bool
+}
+
+// Lit returns the activation literal. Passing it to Solve as an
+// assumption enables the selector's constraints for that call.
+func (sel *Selector) Lit() cnf.Lit { return sel.act }
+
+// Released reports whether the selector has been released.
+func (sel *Selector) Released() bool { return sel.released }
+
+// Tainted reports whether the level-0 state may depend on a removable
+// XOR constraint. Once set, results of future Solve calls may be wrong
+// after a Release; the owner must discard this solver and rebuild.
+func (s *Solver) Tainted() bool { return s.taintL0 }
+
+// SetModelBound restricts Model (and Solve's model extraction) to
+// variables 1..n. Sessions set it to the base formula's variable count
+// so that model extraction stays O(|formula|) no matter how many
+// selector variables accumulate.
+func (s *Solver) SetModelBound(n int) { s.modelBound = n }
+
+// CollectGarbage removes learned clauses that are permanently satisfied
+// by the top-level assignment — after a batch of Releases these are the
+// clauses guarded by the released selectors — and sweeps deleted
+// watchers out of every watch list. The sweep matters: propagation
+// drops deleted watchers only when it inspects them, and a watcher
+// whose blocker literal happens to be true is kept without inspection,
+// so released blocking clauses would otherwise pile up in the watch
+// lists of a small sampling set forever. Must be called between Solve
+// calls.
+func (s *Solver) CollectGarbage() {
+	if s.decisionLevel() != 0 {
+		return
+	}
+	w := 0
+	for _, cl := range s.learnts {
+		if s.satisfiedAtLevel0(cl) && !s.isL0Reason(cl) {
+			s.markDeleted(cl)
+			s.stats.RemovedDB++
+			continue
+		}
+		s.learnts[w] = cl
+		w++
+	}
+	s.learnts = s.learnts[:w]
+	for _, li := range s.dirtyWatch {
+		ws := s.watches[li]
+		n := 0
+		for _, wt := range ws {
+			if !wt.cl.deleted {
+				ws[n] = wt
+				n++
+			}
+		}
+		s.watches[li] = ws[:n]
+	}
+	s.dirtyWatch = s.dirtyWatch[:0]
+}
+
+// isL0Reason reports whether cl justifies a level-0 implication. The
+// list stays tiny (level-0 implications through clauses are rare), so a
+// linear scan beats building a set per call.
+func (s *Solver) isL0Reason(cl *clause) bool {
+	for _, r := range s.l0Reasons {
+		if r == cl {
+			return true
+		}
+	}
+	return false
+}
+
+// markDeleted flags a clause as deleted and records its two watch lists
+// as dirty so CollectGarbage can purge the stale watchers without
+// sweeping the entire (selector-grown) watch table. Propagation keeps
+// skipping and dropping deleted watchers it happens to visit in the
+// meantime.
+func (s *Solver) markDeleted(cl *clause) {
+	cl.deleted = true
+	if len(cl.lits) >= 2 {
+		s.dirtyWatch = append(s.dirtyWatch, cl.lits[0].Not(), cl.lits[1].Not())
+	}
+}
+
+// newSelectorVar allocates a fresh variable of the given selector kind,
+// excluded from the branching heaps (growTo consults allocSelKind so
+// the variable is marked before any heap insertion could happen).
+func (s *Solver) newSelectorVar(kind byte) cnf.Var {
+	v := cnf.Var(s.numVars + 1)
+	s.allocSelKind = kind
+	s.growTo(int(v))
+	s.allocSelKind = selNone
+	return v
+}
+
+// NewClauseSelector allocates a selector guarding no clauses yet; add
+// them with AddClauseToSelector. Grouping many clauses under one
+// selector (e.g. all blocking clauses of one enumeration cell) keeps
+// the per-Solve assumption list short.
+func (s *Solver) NewClauseSelector() *Selector {
+	if s.decisionLevel() != 0 {
+		panic("sat: NewClauseSelector above level 0")
+	}
+	return &Selector{act: cnf.MkLit(s.newSelectorVar(selClause), false)}
+}
+
+// AddClauseRemovable adds clause c guarded by a fresh selector. The
+// clause constrains the search only in Solve calls whose assumptions
+// include sel.Lit(). Must be called at decision level 0.
+func (s *Solver) AddClauseRemovable(c cnf.Clause) *Selector {
+	sel := s.NewClauseSelector()
+	s.AddClauseToSelector(sel, c)
+	return sel
+}
+
+// AddClauseToSelector adds clause c under an existing, unreleased
+// clause selector. Must be called at decision level 0.
+func (s *Solver) AddClauseToSelector(sel *Selector, c cnf.Clause) {
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClauseToSelector above level 0")
+	}
+	if sel.released {
+		panic("sat: AddClauseToSelector on a released selector")
+	}
+	if !s.ok {
+		return
+	}
+	norm, taut := cnf.NormalizeClause(c)
+	if taut {
+		return
+	}
+	for _, l := range norm {
+		s.growTo(int(l.Var()))
+	}
+	out := make(cnf.Clause, 0, len(norm)+1)
+	for _, l := range norm {
+		switch s.value(l) {
+		case lTrue:
+			return // permanently satisfied: activating is a no-op
+		case lUndef:
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		// The clause is false under the top-level assignment: activating
+		// this selector must yield Unsat, which fixing ¬a achieves via
+		// the assumption check in search.
+		s.addUnit(sel.act.Not())
+		return
+	}
+	out = append(out, sel.act.Not())
+	cl := &clause{lits: out}
+	sel.cls = append(sel.cls, cl)
+	s.attach(cl)
+}
+
+// AddXORRemovable adds the parity constraint ⊕vars = rhs guarded by a
+// fresh selector. Must be called at decision level 0.
+func (s *Solver) AddXORRemovable(vars []cnf.Var, rhs bool) *Selector {
+	if s.decisionLevel() != 0 {
+		panic("sat: AddXORRemovable above level 0")
+	}
+	v := s.newSelectorVar(selXORGuard)
+	sel := &Selector{act: cnf.MkLit(v, true)} // active when a = false
+	if !s.ok {
+		return sel
+	}
+	norm, nrhs := cnf.NormalizeXOR(vars, rhs)
+	for _, xv := range norm {
+		s.growTo(int(xv))
+	}
+	out := make([]cnf.Var, 0, len(norm)+1)
+	for _, xv := range norm {
+		switch s.valueVar(xv) {
+		case lTrue:
+			nrhs = !nrhs
+		case lUndef:
+			out = append(out, xv)
+		}
+	}
+	if len(out) == 0 {
+		if nrhs {
+			// 0 = 1 under the top-level assignment: activating must give
+			// Unsat. Fix a = true so the assumption ¬a is contradicted.
+			s.addUnit(sel.act.Not())
+		}
+		return sel
+	}
+	out = append(out, v)
+	x := xorClause{vars: out, rhs: nrhs, w: [2]int{0, 1}, sel: v}
+	var idx int32
+	if n := len(s.freeXors); n > 0 {
+		idx = s.freeXors[n-1]
+		s.freeXors = s.freeXors[:n-1]
+		s.xors[idx] = x
+	} else {
+		idx = int32(len(s.xors))
+		s.xors = append(s.xors, x)
+	}
+	s.occXor[out[0]] = append(s.occXor[out[0]], idx)
+	s.occXor[out[1]] = append(s.occXor[out[1]], idx)
+	sel.xors = append(sel.xors, idx)
+	return sel
+}
+
+// Release permanently deletes the selector's constraints. Guarded CNF
+// clauses are detached, guarded XOR rows are removed from the watch
+// structures and their slots recycled, and the activation variable is
+// fixed so that stale learned clauses become permanently satisfied.
+// Idempotent; must be called between Solve calls.
+func (s *Solver) Release(sel *Selector) {
+	if sel == nil || sel.released {
+		return
+	}
+	sel.released = true
+	s.cancelUntil(0)
+	for _, cl := range sel.cls {
+		s.markDeleted(cl)
+	}
+	sel.cls = nil
+	for _, xi := range sel.xors {
+		x := &s.xors[xi]
+		s.detachXORWatch(x.vars[x.w[0]], xi)
+		s.detachXORWatch(x.vars[x.w[1]], xi)
+		s.xors[xi] = xorClause{}
+		s.freeXors = append(s.freeXors, xi)
+	}
+	sel.xors = nil
+	if !s.ok {
+		return
+	}
+	// Learned clauses that depended on this selector contain act.Not();
+	// assert it so they are satisfied forever. The selector variable
+	// occurs in no other constraint, so nothing else propagates. Skip if
+	// the variable was already fixed at level 0 (either polarity is
+	// sound at that point: see the package comment in this file).
+	if s.value(sel.act) == lUndef {
+		s.addUnit(sel.act.Not())
+	}
+}
+
+// detachXORWatch removes xor index xi from v's occurrence list.
+func (s *Solver) detachXORWatch(v cnf.Var, xi int32) {
+	occ := s.occXor[v]
+	w := 0
+	for _, o := range occ {
+		if o != xi {
+			occ[w] = o
+			w++
+		}
+	}
+	s.occXor[v] = occ[:w]
+}

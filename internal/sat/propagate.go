@@ -96,18 +96,35 @@ func (s *Solver) propagateXORs(v cnf.Var) *clause {
 		if x.vars[x.w[1]] == v {
 			wi = 1
 		}
+		vIdx := x.w[wi]
 		otherIdx := x.w[1-wi]
 		other := x.vars[otherIdx]
-		// Try to move this watch to another unassigned variable.
+		// Single pass: look for an unassigned variable to move this watch
+		// to, folding the parity of assigned variables into `need` along
+		// the way. If no watch move is found, every variable except
+		// possibly `other` is assigned and `need` is already complete —
+		// no second sweep over x.vars.
+		need := x.rhs
 		moved := false
 		for k, xv := range x.vars {
-			if k == x.w[0] || k == x.w[1] {
+			if k == otherIdx {
 				continue
 			}
-			if s.valueVar(xv) == lUndef {
+			if k == vIdx {
+				if s.valueVar(xv) == lTrue {
+					need = !need
+				}
+				continue
+			}
+			switch s.valueVar(xv) {
+			case lUndef:
 				x.w[wi] = k
 				s.occXor[xv] = append(s.occXor[xv], xi)
 				moved = true
+			case lTrue:
+				need = !need
+			}
+			if moved {
 				break
 			}
 		}
@@ -118,20 +135,26 @@ func (s *Solver) propagateXORs(v cnf.Var) *clause {
 		occ[j] = xi
 		j++
 		i++
-		// All variables except possibly `other` are assigned: compute the
-		// parity the other watch must take.
-		need := x.rhs
-		for k, xv := range x.vars {
-			if k == otherIdx {
-				continue
-			}
-			if s.valueVar(xv) == lTrue {
-				need = !need
-			}
-		}
 		switch s.valueVar(other) {
 		case lUndef:
 			s.stats.XORProps++
+			if x.sel != 0 {
+				if s.decisionLevel() == 0 {
+					// A removable XOR is writing to the permanent trail;
+					// the level-0 state no longer follows from the base
+					// formula alone. Sound until the row is released.
+					s.taintL0 = true
+				} else if other == x.sel && need {
+					// The row is absorbing its own guard (guard = true,
+					// the deactivating polarity). Learned clauses that
+					// later resolve through this row while the guard
+					// holds that value contain the guard's NEGATED
+					// activation-complement, which Release's polarity
+					// fix would strengthen rather than satisfy. Sound
+					// for this call; rebuild before the next.
+					s.taintL0 = true
+				}
+			}
 			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{xor: xi + 1})
 		case lTrue:
 			if !need {
@@ -156,40 +179,45 @@ func (s *Solver) xorConflict(occ []int32, j, i int, v cnf.Var, xi int32) *clause
 	}
 	s.occXor[v] = occ[:j]
 	s.qhead = len(s.trail)
-	return &clause{lits: s.xorFalseClause(xi, 0)}
+	s.xorConflBuf = s.xorFalseClause(s.xorConflBuf[:0], xi, 0)
+	return &clause{lits: s.xorConflBuf}
 }
 
 // xorFalseClause renders XOR clause xi under the current assignment as a
 // CNF clause in which every literal is false, except that variable
 // `skip` (if nonzero) is rendered as its *currently implied* literal and
 // placed first. With skip=0 it is a conflict clause; with skip=v it is
-// the reason clause for v's implication.
-func (s *Solver) xorFalseClause(xi int32, skip cnf.Var) []cnf.Lit {
+// the reason clause for v's implication. The result is appended to buf
+// (a solver-owned scratch buffer on the hot path: one XOR conflict or
+// reason lookup happens per conflict-analysis resolution step, and the
+// previous result is always dead by the time the next one is built).
+func (s *Solver) xorFalseClause(buf []cnf.Lit, xi int32, skip cnf.Var) []cnf.Lit {
 	x := &s.xors[xi]
-	out := make([]cnf.Lit, 0, len(x.vars))
 	if skip != 0 {
-		out = append(out, cnf.MkLit(skip, s.valueVar(skip) == lFalse))
+		buf = append(buf, cnf.MkLit(skip, s.valueVar(skip) == lFalse))
 	}
 	for _, xv := range x.vars {
 		if xv == skip {
 			continue
 		}
 		// Literal that is false now: the negation of the current value.
-		out = append(out, cnf.MkLit(xv, s.valueVar(xv) == lTrue))
+		buf = append(buf, cnf.MkLit(xv, s.valueVar(xv) == lTrue))
 	}
-	return out
+	return buf
 }
 
 // reasonLitsFor returns the clause that implied variable v, with the
 // implied literal first. It must only be called for implied (non-decision)
-// variables.
+// variables. XOR reasons are materialized into a scratch buffer that is
+// overwritten by the next call.
 func (s *Solver) reasonLitsFor(v cnf.Var) []cnf.Lit {
 	r := s.reasons[v]
 	switch {
 	case r.cl != nil:
 		return r.cl.lits
 	case r.xor != 0:
-		return s.xorFalseClause(r.xor-1, v)
+		s.xorReasonBuf = s.xorFalseClause(s.xorReasonBuf[:0], r.xor-1, v)
+		return s.xorReasonBuf
 	default:
 		panic("sat: reasonLitsFor on a decision variable")
 	}

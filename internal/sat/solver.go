@@ -50,6 +50,22 @@ type Solver struct {
 	lbdMark       []int64
 	lbdStamp      int64
 
+	// XOR materialization scratch: one buffer for conflict clauses, one
+	// for reason lookups during analysis. They are never alive at the
+	// same time as a second instance of themselves (see xorFalseClause).
+	xorConflBuf  []cnf.Lit
+	xorReasonBuf []cnf.Lit
+
+	// Incremental-session state (see incremental.go).
+	isSelector   []byte    // per var: selNone/selClause/selXORGuard
+	freeXors     []int32   // tombstoned xor slots available for reuse
+	taintL0      bool      // level-0 state may depend on a removable XOR
+	brokenL0     bool      // level-0 conflict under taint: Unsat until rebuilt
+	modelBound   int       // if >0, Model covers vars 1..modelBound only
+	l0Reasons    []*clause // clauses acting as reasons for level-0 implications
+	dirtyWatch   []cnf.Lit // watch lists holding deleted entries (see markDeleted)
+	allocSelKind byte      // nonzero while newSelectorVar grows the arrays
+
 	proof        []ProofStep
 	constructing bool // true while New loads the base formula
 }
@@ -133,15 +149,29 @@ func (s *Solver) growTo(n int) {
 	for len(s.priority) <= n {
 		s.priority = append(s.priority, false)
 	}
+	for len(s.isSelector) <= n {
+		s.isSelector = append(s.isSelector, selNone)
+	}
 	s.order.growTo(n)
 	s.priOrder.growTo(n)
 	for v := old + 1; v <= n; v++ {
+		if s.allocSelKind != selNone {
+			// Selector variable being allocated: mark it before the heap
+			// insertion would happen, so it never enters a decision heap.
+			s.isSelector[v] = s.allocSelKind
+			continue
+		}
 		s.insertOrder(cnf.Var(v))
 	}
 }
 
 // insertOrder re-inserts an unassigned variable into its decision heap.
+// Selector variables are never branched on: they are set by assumptions
+// or by propagation only.
 func (s *Solver) insertOrder(v cnf.Var) {
+	if s.isSelector[v] != selNone {
+		return
+	}
 	if s.priority[v] {
 		s.priOrder.insert(v)
 	} else {
@@ -295,6 +325,12 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
 	s.assigns[v] = boolToLbool(!l.Neg())
 	s.level[v] = s.decisionLevel()
 	s.reasons[v] = from
+	if from.cl != nil && len(s.trailLim) == 0 {
+		// Level-0 implications are permanent; CollectGarbage must not
+		// delete their reason clauses, and scanning the (unboundedly
+		// growing) level-0 trail per call would be quadratic.
+		s.l0Reasons = append(s.l0Reasons, from.cl)
+	}
 	s.trail = append(s.trail, l)
 }
 
@@ -325,7 +361,7 @@ func (s *Solver) Model() cnf.Assignment {
 
 // Solve searches for a model of the clauses under the given assumptions.
 func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
-	if !s.ok {
+	if !s.ok || s.brokenL0 {
 		return Unsat
 	}
 	s.cancelUntil(0)
@@ -347,8 +383,15 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		st := s.search(int64(n), confLimit, propLimit, assumptions)
 		if st != Unknown {
 			if st == Sat {
-				s.model = make(cnf.Assignment, s.numVars+1)
-				for v := 1; v <= s.numVars; v++ {
+				nv := s.numVars
+				if s.modelBound > 0 && s.modelBound < nv {
+					// Incremental sessions accumulate selector variables
+					// well past the formula's own; keep model extraction
+					// O(|formula|), not O(lifetime selectors).
+					nv = s.modelBound
+				}
+				s.model = make(cnf.Assignment, nv+1)
+				for v := 1; v <= nv; v++ {
 					s.model[v] = s.assigns[v] == lTrue
 				}
 			}
@@ -378,6 +421,15 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 			s.stats.Conflicts++
 			localConf++
 			if s.decisionLevel() == 0 {
+				if s.taintL0 {
+					// The level-0 state may include consequences of a
+					// removable XOR, so this conflict does not prove the
+					// base formula UNSAT. The conflict is also not
+					// re-discoverable (propagation is incremental), so
+					// latch Unsat until the owner rebuilds the solver.
+					s.brokenL0 = true
+					return Unsat
+				}
 				s.ok = false
 				s.logLemma(nil)
 				return Unsat
@@ -441,6 +493,13 @@ func (s *Solver) recordLearnt(learnt []cnf.Lit, lbd int) {
 	s.stats.Learned++
 	s.logLemma(learnt)
 	if len(learnt) == 1 {
+		if s.isSelector[learnt[0].Var()] == selXORGuard {
+			// Fixing an XOR-guard selector at level 0 flips the guarded
+			// parity for the rest of the solver's lifetime; level-0
+			// propagation through it would no longer follow from the base
+			// formula alone. Sound for the current call, poison afterwards.
+			s.taintL0 = true
+		}
 		s.uncheckedEnqueue(learnt[0], reason{})
 		return
 	}
@@ -494,7 +553,7 @@ func (s *Solver) reduceDB() {
 	remove := len(ls) / 2
 	kept := s.learnts[:0]
 	for i, cl := range ls {
-		if i < remove && len(cl.lits) > 2 && !locked[cl] {
+		if !locked[cl] && (s.satisfiedAtLevel0(cl) || (i < remove && len(cl.lits) > 2)) {
 			cl.deleted = true
 			s.stats.RemovedDB++
 			continue
@@ -514,6 +573,18 @@ func (s *Solver) reduceDB() {
 		s.watches[li] = ws[:w]
 	}
 	s.maxLearnts *= 1.3
+}
+
+// satisfiedAtLevel0 reports whether a clause is permanently satisfied by
+// the top-level assignment. Learned clauses guarded by a released
+// selector end up in this state and are reclaimed by reduceDB.
+func (s *Solver) satisfiedAtLevel0(cl *clause) bool {
+	for _, l := range cl.lits {
+		if s.value(l) == lTrue && s.level[l.Var()] == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func sortClauses(ls []*clause) {

@@ -128,9 +128,19 @@ type reason struct {
 
 func (r reason) isNone() bool { return r.cl == nil && r.xor == 0 }
 
-// xorClause is a parity constraint with two watched positions.
+// xorClause is a parity constraint with two watched positions. sel is
+// nonzero for removable XOR rows: the selector variable folded into the
+// parity by AddXORRemovable.
 type xorClause struct {
 	vars []cnf.Var
 	rhs  bool
 	w    [2]int // indices into vars of the two watched variables
+	sel  cnf.Var
 }
+
+// Selector kinds recorded in Solver.isSelector.
+const (
+	selNone     byte = iota
+	selClause        // guards CNF clauses (activation literal = positive var)
+	selXORGuard      // guards an XOR row (activation literal = negated var)
+)

@@ -3,17 +3,19 @@
 //
 // Usage:
 //
-//	unigen -n 10 -epsilon 6 -seed 1 formula.cnf
+//	unigen -n 10 -epsilon 6 -seed 1 -j 4 formula.cnf
 //
 // Witnesses are printed one per line as signed DIMACS literals over the
-// sampling set.
+// sampling set. -j N draws them on a pool of N parallel solver
+// sessions; the witnesses printed for a given -seed are the same for
+// every -j (only wall-clock time changes).
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"unigen"
 )
@@ -25,6 +27,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "conflict budget per SAT call (0 = unlimited)")
 	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
 	rounds := flag.Int("amc-rounds", 0, "cap ApproxMC setup rounds (0 = paper default)")
+	jobs := flag.Int("j", 1, "parallel sampling workers (0 = all CPUs)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: unigen [flags] formula.cnf")
@@ -42,26 +45,28 @@ func main() {
 		fatal(err)
 	}
 
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	s, err := unigen.NewSampler(f, unigen.Options{
 		Epsilon:        *epsilon,
 		Seed:           *seed,
 		MaxConflicts:   *budget,
 		GaussJordan:    *gauss,
 		ApproxMCRounds: *rounds,
+		Workers:        workers,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
 	vars := f.SamplingVars()
-	for got := 0; got < *n; {
-		w, err := s.Sample()
-		if errors.Is(err, unigen.ErrFailed) {
-			continue // ⊥ round; retry with fresh randomness
-		}
-		if err != nil {
-			fatal(err)
-		}
+	ws, err := s.SampleN(*n) // ⊥ rounds are retried internally
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range ws {
 		for _, v := range vars {
 			if w.Get(v) {
 				fmt.Printf("%d ", v)
@@ -70,7 +75,6 @@ func main() {
 			}
 		}
 		fmt.Println("0")
-		got++
 	}
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "c success=%.3f avg-xor-len=%.1f easy=%v\n",

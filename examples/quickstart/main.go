@@ -27,6 +27,7 @@ func main() {
 	s, err := unigen.NewSampler(f, unigen.Options{
 		Epsilon: 6, // the paper's experimental setting
 		Seed:    42,
+		Workers: 2, // pool of 2 solver sessions; samples depend on Seed only
 	})
 	if err != nil {
 		log.Fatalf("sampler: %v", err)
@@ -39,7 +40,7 @@ func main() {
 	}
 	for i, w := range ws {
 		fmt.Printf("  #%d:", i+1)
-		for _, b := range w.Bits(f.SamplingSet) {
+		for _, b := range w.Bits(f.SamplingVars()) {
 			if b {
 				fmt.Print(" 1")
 			} else {

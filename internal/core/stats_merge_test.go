@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"unigen/internal/randx"
+)
+
+func TestStatsMerge(t *testing.T) {
+	setup := Stats{BSATCalls: 1, SetupRounds: 15, Q: 7}
+	w1 := Stats{Samples: 3, Failures: 1, BSATCalls: 14, XORRows: 80, XORLenSum: 400}
+	w2 := Stats{Samples: 2, Failures: 2, BSATCalls: 12, XORRows: 64, XORLenSum: 320}
+
+	got := setup.Merge(w1).Merge(w2)
+	want := Stats{
+		Samples: 5, Failures: 3, BSATCalls: 27,
+		XORRows: 144, XORLenSum: 720,
+		SetupRounds: 15, Q: 7,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %+v, want %+v", got, want)
+	}
+	if got.AvgXORLen() != 5 || got.SuccessProb() != 5.0/8 {
+		t.Fatalf("derived columns: avg=%v succ=%v", got.AvgXORLen(), got.SuccessProb())
+	}
+	// Merge must not mutate its operands (value semantics).
+	if setup.Samples != 0 || w1.Samples != 3 {
+		t.Fatal("Merge mutated an operand")
+	}
+}
+
+func TestStatsMergeEasyCaseAndQ(t *testing.T) {
+	a := Stats{EasyCase: true, Q: 3}
+	b := Stats{Q: 9}
+	if m := a.Merge(b); !m.EasyCase || m.Q != 9 {
+		t.Fatalf("merged = %+v", m)
+	}
+	if m := b.Merge(a); !m.EasyCase || m.Q != 9 {
+		t.Fatalf("merge not symmetric on EasyCase/Q: %+v", b.Merge(a))
+	}
+}
+
+// TestSamplerStatsIncludeSetup guards the single-threaded contract:
+// Sampler.Stats folds the shared setup stats into the per-sampler view,
+// so facade callers see the same columns as before the Setup split.
+func TestSamplerStatsIncludeSetup(t *testing.T) {
+	f := hardFormula()
+	smp, err := NewSampler(f, randx.New(21), Options{Epsilon: 6, ApproxMCRounds: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := smp.Stats()
+	if st.SetupRounds == 0 || st.Q == 0 {
+		t.Fatalf("setup stats missing from sampler view: %+v", st)
+	}
+	if st.Q != smp.Setup().SetupStats().Q {
+		t.Fatalf("Q mismatch: %d vs %d", st.Q, smp.Setup().SetupStats().Q)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sort"
 
 	"unigen/internal/bsat"
 	"unigen/internal/cnf"
@@ -47,7 +48,9 @@ type Options struct {
 }
 
 // Stats accumulates observable behaviour of a Sampler, feeding the
-// Table 1/Table 2 columns.
+// Table 1/Table 2 columns. Stats values are plain data: each worker of
+// a parallel run accumulates its own and the results are combined with
+// Merge, so the hot path carries no shared mutable counters.
 type Stats struct {
 	Samples     int64 // successful samples
 	Failures    int64 // ⊥ outcomes
@@ -57,6 +60,27 @@ type Stats struct {
 	SetupRounds int     // ApproxMC rounds during setup
 	EasyCase    bool    // |R_F| ≤ hiThresh: sampling needs no hashing
 	Q           int     // the q of line 10
+}
+
+// Merge combines two stats values: counters add, EasyCase ors, and the
+// setup-derived Q takes the maximum (it is zero in per-round deltas).
+// Merge is commutative and associative over the integer counters; the
+// float XORLenSum is a sum, so bit-exact reproducibility of a merged
+// value additionally requires merging deltas in a fixed order (the
+// parallel engine merges per-round deltas in round order for exactly
+// this reason).
+func (st Stats) Merge(o Stats) Stats {
+	st.Samples += o.Samples
+	st.Failures += o.Failures
+	st.BSATCalls += o.BSATCalls
+	st.XORRows += o.XORRows
+	st.XORLenSum += o.XORLenSum
+	st.SetupRounds += o.SetupRounds
+	st.EasyCase = st.EasyCase || o.EasyCase
+	if o.Q > st.Q {
+		st.Q = o.Q
+	}
+	return st
 }
 
 // AvgXORLen returns the mean XOR-clause length, the "Avg XOR len"
@@ -78,33 +102,37 @@ func (st Stats) SuccessProb() float64 {
 	return float64(st.Samples) / float64(tot)
 }
 
-// Sampler is the amortized UniGen state for one formula: the outcome of
-// lines 1–11 of Algorithm 1. Each Sample call executes lines 12–22.
-type Sampler struct {
+// Setup is the outcome of lines 1–11 of Algorithm 1, the once-per-
+// formula state of UniGen: κ and pivot, thresholds, the easy-case
+// witness list, and otherwise the ApproxMC estimate and the candidate
+// range endpoint q. A Setup is immutable after construction and safe to
+// share: a parallel engine runs NewSetup once and hands the same Setup
+// to every worker, each of which pairs it with its own bsat.Session and
+// randx.RNG (solver sessions are not thread-safe; the Setup is).
+type Setup struct {
 	f    *cnf.Formula
 	s    []cnf.Var
 	kp   KappaPivot
 	opts Options
-
-	// sess is the incremental BSAT engine shared by the easy-case
-	// enumeration and every Sample/SampleBatch round: the formula is
-	// loaded into the solver once per Sampler, and hash rows/blocking
-	// clauses come and go as removable constraints.
-	sess *bsat.Session
 
 	easy    []cnf.Assignment // all witnesses when |R_F| ≤ hiThresh (lines 5–7)
 	easySet bool             // true when `easy` is authoritative (incl. UNSAT)
 	q       int              // line 10
 	est     *big.Int         // ApproxMC estimate C
 
-	stats Stats
+	base Stats // setup-phase stats (SetupRounds, EasyCase, Q, setup BSAT call)
+
+	// spare is the session the easy-case enumeration ran on; the first
+	// NewSession call adopts it instead of rebuilding a solver. Handed
+	// out before any worker starts, never shared after.
+	spare *bsat.Session
 }
 
-// NewSampler runs the once-per-formula phase of UniGen: compute κ and
+// NewSetup runs the once-per-formula phase of UniGen: compute κ and
 // pivot (line 1), thresholds (lines 2–3), the easy-case enumeration
 // (lines 4–7), and otherwise the ApproxMC estimate and the candidate
 // range endpoint q (lines 9–10).
-func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) {
+func NewSetup(f *cnf.Formula, rng *randx.RNG, opts Options) (*Setup, error) {
 	kp, err := ComputeKappaPivot(opts.Epsilon)
 	if err != nil {
 		return nil, err
@@ -116,21 +144,22 @@ func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) 
 	if len(s) == 0 {
 		s = f.SamplingVars()
 	}
-	smp := &Sampler{f: f, s: s, kp: kp, opts: opts}
-	smp.sess = bsat.NewSession(f, bsat.Options{SamplingSet: s, Solver: opts.Solver})
+	su := &Setup{f: f, s: s, kp: kp, opts: opts}
+	su.spare = bsat.NewSession(f, bsat.Options{SamplingSet: s, Solver: opts.Solver})
 
 	// Lines 4–7: if F has at most hiThresh witnesses, enumerate them
 	// once and sample by index forever after.
-	res := smp.sess.Enumerate(kp.HiThresh+1, nil)
+	res := su.spare.Enumerate(kp.HiThresh+1, nil)
 	if res.BudgetExceeded {
 		return nil, fmt.Errorf("%w (easy-case enumeration)", ErrBudget)
 	}
-	smp.stats.BSATCalls++
+	su.base.BSATCalls++
 	if len(res.Witnesses) <= kp.HiThresh {
-		smp.easy = res.Witnesses
-		smp.easySet = true
-		smp.stats.EasyCase = true
-		return smp, nil
+		su.easy = res.Witnesses
+		sortWitnesses(su.easy, su.s)
+		su.easySet = true
+		su.base.EasyCase = true
+		return su, nil
 	}
 
 	// Line 9: C ← ApproxMC(F, 0.8, 0.8-confidence).
@@ -144,8 +173,8 @@ func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) 
 	if err != nil {
 		return nil, fmt.Errorf("unigen: setup ApproxMC: %w", err)
 	}
-	smp.est = amc.Count
-	smp.stats.SetupRounds = amc.Rounds
+	su.est = amc.Count
+	su.base.SetupRounds = amc.Rounds
 
 	// Line 10: q ← ⌈log₂ C + log₂ 1.8 − log₂ pivot⌉.
 	logC := bigLog2(amc.Count)
@@ -156,9 +185,9 @@ func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) 
 	if q > len(s) {
 		q = len(s)
 	}
-	smp.q = q
-	smp.stats.Q = q
-	return smp, nil
+	su.q = q
+	su.base.Q = q
+	return su, nil
 }
 
 // bigLog2 approximates log₂(x) for a positive big integer.
@@ -175,57 +204,109 @@ func bigLog2(x *big.Int) float64 {
 	return math.Log2(float64(mant.Int64())) + float64(bits-53)
 }
 
-// Stats returns a snapshot of the sampler's counters.
-func (smp *Sampler) Stats() Stats { return smp.stats }
+// SetupStats returns the stats of the setup phase alone. A parallel run
+// reports SetupStats().Merge(round deltas…); a single-threaded Sampler
+// folds them into Stats for callers automatically.
+func (su *Setup) SetupStats() Stats { return su.base }
 
 // KappaPivot exposes the derived parameters (used by benchmarks and the
 // experiment harness).
-func (smp *Sampler) KappaPivot() KappaPivot { return smp.kp }
+func (su *Setup) KappaPivot() KappaPivot { return su.kp }
 
 // EstimatedCount returns the setup-time ApproxMC estimate (nil in the
 // easy case, where the exact witness list is held instead).
-func (smp *Sampler) EstimatedCount() *big.Int {
-	if smp.est == nil {
+func (su *Setup) EstimatedCount() *big.Int {
+	if su.est == nil {
 		return nil
 	}
-	return new(big.Int).Set(smp.est)
+	return new(big.Int).Set(su.est)
 }
 
 // SamplingSet returns the sampling variables in use.
-func (smp *Sampler) SamplingSet() []cnf.Var {
-	return append([]cnf.Var(nil), smp.s...)
+func (su *Setup) SamplingSet() []cnf.Var {
+	return append([]cnf.Var(nil), su.s...)
 }
 
-// Sample executes lines 12–22 of Algorithm 1: walk i over {q−3..q},
-// partition R_F with a fresh hash from H_xor(|S|, i, 3), and return a
-// uniformly chosen witness of the first cell whose size lands within
-// [loThresh, hiThresh]. It returns ErrFailed for the ⊥ outcome.
-func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
-	if smp.easySet {
+// NewSession returns a BSAT session over the setup's formula, suitable
+// for exclusive use by one worker. The first call adopts the session
+// the setup phase already built; later calls construct fresh solvers.
+// Call it from one goroutine (e.g. while building a worker pool), then
+// hand each session to its worker.
+func (su *Setup) NewSession() *bsat.Session {
+	if se := su.spare; se != nil {
+		su.spare = nil
+		return se
+	}
+	return bsat.NewSession(su.f, bsat.Options{SamplingSet: su.s, Solver: su.opts.Solver})
+}
+
+// NewSampler pairs the shared setup with a private session, yielding an
+// independent sampling worker.
+func (su *Setup) NewSampler() *Sampler {
+	return &Sampler{setup: su, sess: su.NewSession()}
+}
+
+// sortWitnesses orders witnesses canonically by their projection onto
+// the sampling set. Enumeration order is an artifact of solver history
+// (learned clauses, VSIDS activity), so a cell's witness list comes
+// back in different orders on different sessions; sorting before the
+// uniform index pick makes the chosen witness a function of the cell
+// contents and the round's RNG alone. That is the invariant that lets
+// a parallel engine run round i on any worker and still return the
+// same sample. Projections are unique within a list (blocking clauses
+// enforce distinctness on the sampling set), so the order is total.
+func sortWitnesses(ws []cnf.Assignment, s []cnf.Var) {
+	sort.Slice(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		for _, v := range s {
+			av, bv := a.Get(v), b.Get(v)
+			if av != bv {
+				return bv // false < true
+			}
+		}
+		return false
+	})
+}
+
+// SampleRound executes lines 12–22 of Algorithm 1 once against the
+// caller's session and RNG, accumulating observable behaviour into st:
+// walk i over {q−3..q}, partition R_F with a fresh hash from
+// H_xor(|S|, i, 3), and return a uniformly chosen witness of the first
+// cell whose size lands within [loThresh, hiThresh]. It returns
+// ErrFailed for the ⊥ outcome.
+//
+// Given the same RNG state, the outcome is independent of the session's
+// history as long as no conflict-budget exhaustion occurs: accepted
+// cells are always exhaustively enumerated, their witness lists are
+// canonically ordered before the index pick, and budget retries redraw
+// only from this round's RNG. This is the determinism contract the
+// parallel engine builds on.
+func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf.Assignment, error) {
+	if su.easySet {
 		// Lines 5–7: uniform choice among all witnesses.
-		if len(smp.easy) == 0 {
+		if len(su.easy) == 0 {
 			return nil, errors.New("unigen: formula is unsatisfiable")
 		}
-		smp.stats.Samples++
-		return smp.easy[rng.Intn(len(smp.easy))], nil
+		st.Samples++
+		return su.easy[rng.Intn(len(su.easy))], nil
 	}
-	kp := smp.kp
-	for i := smp.q - 3; i <= smp.q; i++ {
+	kp := su.kp
+	for i := su.q - 3; i <= su.q; i++ {
 		m := i
 		if m < 1 {
 			m = 1
 		}
 		var res bsat.Result
 		ok := false
-		for retry := 0; retry < smp.opts.MaxRetries; retry++ {
+		for retry := 0; retry < su.opts.MaxRetries; retry++ {
 			// Lines 14–15: random h and α (α is folded into the XOR
 			// right-hand sides by hashfam).
-			h := hashfam.Draw(rng, smp.s, m)
-			smp.stats.XORRows += int64(h.M())
-			smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
-			// Line 16, on the shared incremental session.
-			res = smp.sess.Enumerate(kp.HiThresh+1, h)
-			smp.stats.BSATCalls++
+			h := hashfam.Draw(rng, su.s, m)
+			st.XORRows += int64(h.M())
+			st.XORLenSum += h.AverageLen() * float64(h.M())
+			// Line 16, on the caller's incremental session.
+			res = sess.Enumerate(kp.HiThresh+1, h)
+			st.BSATCalls++
 			if !res.BudgetExceeded {
 				ok = true
 				break
@@ -237,14 +318,113 @@ func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
 		}
 		n := len(res.Witnesses)
 		if float64(n) >= kp.LoThresh && n <= kp.HiThresh {
-			// Lines 21–22.
-			smp.stats.Samples++
+			// Lines 21–22, on the canonical order (see sortWitnesses).
+			sortWitnesses(res.Witnesses, su.s)
+			st.Samples++
 			return res.Witnesses[rng.Intn(n)], nil
 		}
 	}
 	// Lines 18–19.
-	smp.stats.Failures++
+	st.Failures++
 	return nil, ErrFailed
+}
+
+// SampleBatchRound is SampleRound's without-replacement batch variant:
+// one hashing round, up to k distinct witnesses from the accepted cell.
+func (su *Setup) SampleBatchRound(sess *bsat.Session, rng *randx.RNG, st *Stats, k int) ([]cnf.Assignment, error) {
+	if k <= 0 {
+		return nil, errors.New("unigen: batch size must be positive")
+	}
+	if su.easySet {
+		if len(su.easy) == 0 {
+			return nil, errors.New("unigen: formula is unsatisfiable")
+		}
+		out := make([]cnf.Assignment, 0, k)
+		for _, idx := range rng.Perm(len(su.easy)) {
+			if len(out) == k {
+				break
+			}
+			out = append(out, su.easy[idx])
+		}
+		st.Samples += int64(len(out))
+		return out, nil
+	}
+	kp := su.kp
+	for i := su.q - 3; i <= su.q; i++ {
+		m := i
+		if m < 1 {
+			m = 1
+		}
+		h := hashfam.Draw(rng, su.s, m)
+		st.XORRows += int64(h.M())
+		st.XORLenSum += h.AverageLen() * float64(h.M())
+		res := sess.Enumerate(kp.HiThresh+1, h)
+		st.BSATCalls++
+		if res.BudgetExceeded {
+			return nil, ErrBudget
+		}
+		n := len(res.Witnesses)
+		if float64(n) >= kp.LoThresh && n <= kp.HiThresh {
+			sortWitnesses(res.Witnesses, su.s)
+			out := make([]cnf.Assignment, 0, k)
+			for _, idx := range rng.Perm(n) {
+				if len(out) == k {
+					break
+				}
+				out = append(out, res.Witnesses[idx])
+			}
+			st.Samples += int64(len(out))
+			return out, nil
+		}
+	}
+	st.Failures++
+	return nil, ErrFailed
+}
+
+// Sampler is the amortized UniGen state for one formula plus one BSAT
+// session: a shared Setup (lines 1–11 of Algorithm 1) paired with a
+// private incremental solver. Each Sample call executes lines 12–22.
+// Not safe for concurrent use; for a pool of workers over one formula,
+// share the Setup and give each worker its own Sampler (see
+// Setup.NewSampler and internal/parallel).
+type Sampler struct {
+	setup *Setup
+	sess  *bsat.Session
+	stats Stats // this sampler's round stats; setup stats live in setup
+}
+
+// NewSampler runs the once-per-formula setup and attaches a session —
+// the single-threaded construction path.
+func NewSampler(f *cnf.Formula, rng *randx.RNG, opts Options) (*Sampler, error) {
+	su, err := NewSetup(f, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return su.NewSampler(), nil
+}
+
+// Stats returns a snapshot of the sampler's counters, setup phase
+// included.
+func (smp *Sampler) Stats() Stats { return smp.setup.base.Merge(smp.stats) }
+
+// Setup returns the shared once-per-formula state.
+func (smp *Sampler) Setup() *Setup { return smp.setup }
+
+// KappaPivot exposes the derived parameters (used by benchmarks and the
+// experiment harness).
+func (smp *Sampler) KappaPivot() KappaPivot { return smp.setup.kp }
+
+// EstimatedCount returns the setup-time ApproxMC estimate (nil in the
+// easy case, where the exact witness list is held instead).
+func (smp *Sampler) EstimatedCount() *big.Int { return smp.setup.EstimatedCount() }
+
+// SamplingSet returns the sampling variables in use.
+func (smp *Sampler) SamplingSet() []cnf.Var { return smp.setup.SamplingSet() }
+
+// Sample executes lines 12–22 of Algorithm 1 on this sampler's session.
+// It returns ErrFailed for the ⊥ outcome.
+func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
+	return smp.setup.SampleRound(smp.sess, rng, &smp.stats)
 }
 
 // SampleBatch draws up to k witnesses from a single accepted cell,
@@ -254,52 +434,7 @@ func (smp *Sampler) Sample(rng *randx.RNG) (cnf.Assignment, error) {
 // are distinct by construction); use Sample for the DAC'14 guarantee.
 // It returns ErrFailed for a ⊥ round, like Sample.
 func (smp *Sampler) SampleBatch(rng *randx.RNG, k int) ([]cnf.Assignment, error) {
-	if k <= 0 {
-		return nil, errors.New("unigen: batch size must be positive")
-	}
-	if smp.easySet {
-		if len(smp.easy) == 0 {
-			return nil, errors.New("unigen: formula is unsatisfiable")
-		}
-		out := make([]cnf.Assignment, 0, k)
-		for _, idx := range rng.Perm(len(smp.easy)) {
-			if len(out) == k {
-				break
-			}
-			out = append(out, smp.easy[idx])
-		}
-		smp.stats.Samples += int64(len(out))
-		return out, nil
-	}
-	kp := smp.kp
-	for i := smp.q - 3; i <= smp.q; i++ {
-		m := i
-		if m < 1 {
-			m = 1
-		}
-		h := hashfam.Draw(rng, smp.s, m)
-		smp.stats.XORRows += int64(h.M())
-		smp.stats.XORLenSum += h.AverageLen() * float64(h.M())
-		res := smp.sess.Enumerate(kp.HiThresh+1, h)
-		smp.stats.BSATCalls++
-		if res.BudgetExceeded {
-			return nil, ErrBudget
-		}
-		n := len(res.Witnesses)
-		if float64(n) >= kp.LoThresh && n <= kp.HiThresh {
-			out := make([]cnf.Assignment, 0, k)
-			for _, idx := range rng.Perm(n) {
-				if len(out) == k {
-					break
-				}
-				out = append(out, res.Witnesses[idx])
-			}
-			smp.stats.Samples += int64(len(out))
-			return out, nil
-		}
-	}
-	smp.stats.Failures++
-	return nil, ErrFailed
+	return smp.setup.SampleBatchRound(smp.sess, rng, &smp.stats, k)
 }
 
 // SampleMany draws n witnesses, skipping ⊥ rounds, and reports how many

@@ -146,8 +146,8 @@ func TestSamplerHashingPath(t *testing.T) {
 	if smp.Stats().EasyCase {
 		t.Fatal("expected hashing path")
 	}
-	if smp.q < 1 {
-		t.Fatalf("q = %d", smp.q)
+	if smp.setup.q < 1 {
+		t.Fatalf("q = %d", smp.setup.q)
 	}
 	got := 0
 	for i := 0; i < 50; i++ {

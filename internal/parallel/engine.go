@@ -1,0 +1,268 @@
+// Package parallel is the worker-pool sampling engine over UniGen's
+// core. The DAC'14 paper's central scalability argument is that after
+// the one-time ApproxMC setup every sample is drawn independently — the
+// loop is embarrassingly parallel. This package industrializes that
+// observation (as the UniGen2 line of work did): the setup runs once,
+// and sampling rounds fan out over a pool of workers, each owning a
+// private incremental bsat.Session (solvers are not thread-safe) and
+// executing rounds with RNG streams split deterministically from one
+// master seed.
+//
+// # Determinism
+//
+// Round i of a run — whichever worker executes it — uses
+// randx.Stream(masterSeed, i) as its RNG, and the core canonically
+// orders each accepted cell before the uniform index pick, so a round's
+// outcome is a function of the round index and the master seed alone,
+// not of worker count, scheduling, or the executing session's solver
+// history. SampleN consumes rounds strictly in index order, so for a
+// fixed master seed the multiset of returned samples (projected onto
+// the sampling set) and the merged Stats are identical for 1, 2, or N
+// workers. The one caveat: conflict-budget exhaustion (sat.Config
+// budgets) depends on accumulated solver state, so a run in which
+// budgets fire may retry rounds differently across pool shapes —
+// retries still only consume the round's own stream, never a
+// neighbour's.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/core"
+	"unigen/internal/randx"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the pool size: the number of private solver sessions
+	// sampling rounds are fanned out over. 0 defaults to
+	// runtime.GOMAXPROCS(0). 1 is a valid degenerate pool (useful for
+	// determinism tests and as the ctx-aware single-threaded path).
+	Workers int
+	// MasterSeed roots the per-round RNG streams (see the package
+	// comment) and, salted, the setup-phase RNG.
+	MasterSeed uint64
+	// Core is forwarded to the shared core.Setup. Core.Solver.Interrupt
+	// is overwritten: the engine installs its own flag so SampleN can
+	// abort in-flight BSAT calls on context cancellation.
+	Core core.Options
+}
+
+// setupSalt decorrelates the setup-phase RNG from the round streams; it
+// matches the facade's single-threaded salt so an engine and a
+// plain sampler built from the same seed share the same setup.
+const setupSalt = 0x0dac2014
+
+// roundResult carries one finished round from a worker to the
+// collector.
+type roundResult struct {
+	idx   uint64 // round index, relative to the SampleN call
+	w     cnf.Assignment
+	stats core.Stats
+	err   error
+}
+
+// Engine runs UniGen sampling rounds over a pool of per-worker solver
+// sessions sharing one Setup. Construct with NewEngine; an Engine is
+// meant to be used from one goroutine at a time (the pool parallelism
+// is internal), like core.Sampler.
+type Engine struct {
+	setup    *core.Setup
+	sessions []*bsat.Session // one per worker, owned exclusively during SampleN
+	seed     uint64
+	next     uint64       // absolute index of the first round of the next SampleN
+	stats    core.Stats   // setup stats merged with all consumed round deltas
+	intr     *atomic.Bool // shared by every session's solver config
+}
+
+// NewEngine runs the ApproxMC setup once and builds one solver session
+// per worker.
+func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{seed: opts.MasterSeed, intr: new(atomic.Bool)}
+	co := opts.Core
+	co.Solver.Interrupt = e.intr
+	su, err := core.NewSetup(f, randx.New(opts.MasterSeed^setupSalt), co)
+	if err != nil {
+		return nil, err
+	}
+	e.setup = su
+	e.stats = su.SetupStats()
+	e.sessions = make([]*bsat.Session, w)
+	for i := range e.sessions {
+		e.sessions[i] = su.NewSession()
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return len(e.sessions) }
+
+// Sample draws one witness synchronously on the first worker session,
+// retrying ⊥ rounds. It consumes exactly the rounds SampleN(ctx, 1)
+// would and merges the same stats, so mixing Sample and SampleN keeps
+// the run reproducible — but it spins up no goroutines, making it the
+// right call for one-at-a-time draws. Cancellation is checked between
+// rounds only; use SampleN to interrupt mid-round SAT search.
+func (e *Engine) Sample(ctx context.Context) (cnf.Assignment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rng := randx.Stream(e.seed, e.next)
+		var st core.Stats
+		w, err := e.setup.SampleRound(e.sessions[0], rng, &st)
+		e.next++
+		e.stats = e.stats.Merge(st)
+		switch {
+		case err == nil:
+			return w, nil
+		case errors.Is(err, core.ErrFailed):
+			// ⊥ round: try the next round in the stream.
+		default:
+			return nil, err
+		}
+	}
+}
+
+// Setup returns the shared once-per-formula state.
+func (e *Engine) Setup() *core.Setup { return e.setup }
+
+// Stats returns the merged statistics: the setup phase plus every round
+// consumed by SampleN calls so far, merged in round order (so the value
+// is reproducible for a fixed master seed, worker count
+// notwithstanding). Speculative rounds that completed beyond the last
+// consumed index are not included.
+func (e *Engine) Stats() core.Stats { return e.stats }
+
+// SampleN draws n almost-uniform witnesses using the worker pool,
+// transparently skipping ⊥ rounds. In-flight work is bounded by the
+// pool size: each worker executes one round at a time, pulling the next
+// free round index from a shared dispenser. Results are consumed in
+// round-index order, so the returned multiset is deterministic for a
+// fixed master seed (see the package comment).
+//
+// On ctx cancellation the engine raises the shared solver interrupt
+// flag — in-flight BSAT calls return promptly, as if their conflict
+// budget had been exhausted — and SampleN returns the witnesses
+// completed so far together with ctx.Err(). Other hard errors
+// (ErrBudget, unsatisfiable formula) abort the same way.
+func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
+	if n <= 0 {
+		return nil, errors.New("parallel: sample count must be positive")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.intr.Store(false)
+
+	// Forward ctx cancellation to every in-flight solver call.
+	watchDone := make(chan struct{})
+	watcherGone := make(chan struct{})
+	go func() {
+		defer close(watcherGone)
+		select {
+		case <-ctx.Done():
+			e.intr.Store(true)
+		case <-watchDone:
+		}
+	}()
+
+	var (
+		dispenser atomic.Uint64 // next round index (relative) to hand out
+		stop      atomic.Bool   // set by the collector; workers drain out
+		results   = make(chan roundResult, 2*len(e.sessions))
+		wg        sync.WaitGroup
+	)
+	for _, sess := range e.sessions {
+		wg.Add(1)
+		go func(sess *bsat.Session) {
+			defer wg.Done()
+			for !stop.Load() {
+				idx := dispenser.Add(1) - 1
+				rng := randx.Stream(e.seed, e.next+idx)
+				var st core.Stats
+				w, err := e.setup.SampleRound(sess, rng, &st)
+				if err != nil && ctx.Err() != nil {
+					// Interrupt-induced budget errors masquerade as
+					// ErrBudget; report the cancellation instead.
+					err = ctx.Err()
+				}
+				results <- roundResult{idx: idx, w: w, stats: st, err: err}
+			}
+		}(sess)
+	}
+
+	// Collector: consume rounds strictly in index order, merging their
+	// stats deltas and keeping successes, until n witnesses are in hand
+	// or a hard error surfaces in the consumed prefix. Rounds completed
+	// beyond that boundary are speculative and discarded entirely —
+	// witnesses and stats — so the consumed prefix, and everything
+	// derived from it, is independent of pool shape.
+	var (
+		out      []cnf.Assignment
+		firstErr error
+		pending  = map[uint64]roundResult{}
+		consume  uint64 // next round index to consume
+	)
+collect:
+	for len(out) < n {
+		res, ok := pending[consume]
+		if !ok {
+			r := <-results
+			if r.idx != consume {
+				pending[r.idx] = r
+				continue
+			}
+			res = r
+		} else {
+			delete(pending, consume)
+		}
+		consume++
+		e.stats = e.stats.Merge(res.stats)
+		switch {
+		case res.err == nil:
+			out = append(out, res.w)
+		case errors.Is(res.err, core.ErrFailed):
+			// ⊥ round: counted in stats, try further rounds.
+		default:
+			firstErr = res.err
+			break collect
+		}
+	}
+
+	// Shut the pool down without stranding a worker on a full results
+	// channel: drain until every worker has exited.
+	stop.Store(true)
+	e.intr.Store(true) // hasten rounds already in flight; discarded anyway
+	go func() {
+		for range results {
+		}
+	}()
+	wg.Wait()
+	close(results)
+	close(watchDone)
+	<-watcherGone
+	e.intr.Store(false)
+
+	// Later SampleN calls continue the round stream where this call's
+	// consumed prefix ended, preserving end-to-end reproducibility of
+	// multi-call runs.
+	e.next += consume
+	return out, firstErr
+}

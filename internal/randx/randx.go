@@ -33,9 +33,29 @@ func (r *RNG) Uint64() uint64 {
 // Split returns a new generator whose stream is statistically independent
 // of the parent's. It is used to hand sub-components their own streams so
 // that adding randomness consumption in one component does not perturb
-// another.
+// another. Split advances the parent; for a splitting scheme that does
+// not depend on how far the parent has been consumed, use Stream.
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// Stream returns the i-th child generator of the family rooted at
+// master, without constructing or advancing a master generator. The
+// child's seed is the (i+1)-th output of a SplitMix64 generator seeded
+// with master, addressable in O(1) by index. (Split is the sequential
+// sibling of this scheme; its children additionally XOR a constant
+// into the seed, so the two families are distinct.) Distinct (master,
+// i) pairs yield statistically independent streams.
+//
+// This is the splittable-seed scheme behind parallel sampling: round i
+// of a run is executed with Stream(masterSeed, i) no matter which
+// worker runs it, which is what makes the sample multiset reproducible
+// for a fixed master seed regardless of worker count or scheduling.
+func Stream(master, i uint64) *RNG {
+	z := master + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(z ^ (z >> 31))
 }
 
 // Bool returns a uniformly random bit.

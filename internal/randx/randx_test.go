@@ -28,6 +28,39 @@ func TestSeedsDiffer(t *testing.T) {
 	}
 }
 
+func TestStreamMatchesSplitSequence(t *testing.T) {
+	// Stream(master, i) is documented as the i-th output of a SplitMix64
+	// generator seeded with master, i.e. New(master) advanced i+1 times.
+	master := New(77)
+	for i := uint64(0); i < 16; i++ {
+		want := New(master.Uint64())
+		got := Stream(77, i)
+		for k := 0; k < 4; k++ {
+			if got.Uint64() != want.Uint64() {
+				t.Fatalf("Stream(77, %d) diverged from master output %d", i, i)
+			}
+		}
+	}
+}
+
+func TestStreamChildrenDiffer(t *testing.T) {
+	// Distinct round indices and distinct masters must yield streams
+	// with no early collisions.
+	seen := map[uint64]bool{}
+	for _, master := range []uint64{0, 1, 0xdeadbeef} {
+		for i := uint64(0); i < 64; i++ {
+			r := Stream(master, i)
+			for k := 0; k < 4; k++ {
+				v := r.Uint64()
+				if seen[v] {
+					t.Fatalf("collision across streams (master=%d, i=%d)", master, i)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(3)
 	f := func(n uint16) bool {

@@ -1,0 +1,77 @@
+package sat
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+// random3CNF builds a satisfiable-ish random 3-CNF (no guarantee; the
+// interrupt tests only need search work, not a particular verdict).
+func random3CNF(nVars, nClauses int, seed uint64) *cnf.Formula {
+	rng := randx.New(seed)
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		c := make(cnf.Clause, 0, 3)
+		for j := 0; j < 3; j++ {
+			c = append(c, cnf.MkLit(cnf.Var(rng.Intn(nVars)+1), rng.Bool()))
+		}
+		f.AddClauseLits(c)
+	}
+	return f
+}
+
+func TestInterruptPreSetReturnsUnknown(t *testing.T) {
+	intr := new(atomic.Bool)
+	intr.Store(true)
+	f := random3CNF(50, 180, 1)
+	s := New(f, Config{Interrupt: intr})
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("Solve under pre-set interrupt = %v, want Unknown", st)
+	}
+	// Clearing the flag must leave a fully usable solver.
+	intr.Store(false)
+	if st := s.Solve(); st == Unknown {
+		t.Fatal("Solve stayed Unknown after the interrupt was cleared")
+	}
+}
+
+func TestInterruptSharedAcrossSolvers(t *testing.T) {
+	// One flag interrupts every solver configured with it — the
+	// mechanism a parallel pool uses to cancel all workers at once.
+	intr := new(atomic.Bool)
+	solvers := []*Solver{
+		New(random3CNF(40, 150, 2), Config{Interrupt: intr}),
+		New(random3CNF(40, 150, 3), Config{Interrupt: intr}),
+	}
+	intr.Store(true)
+	for i, s := range solvers {
+		if st := s.Solve(); st != Unknown {
+			t.Fatalf("solver %d: %v, want Unknown", i, st)
+		}
+	}
+}
+
+func TestInterruptMidSearch(t *testing.T) {
+	// A watcher raises the flag shortly after search starts; Solve must
+	// come home even though no conflict/propagation budget is set. If
+	// the instance happens to be solved before the flag fires, any
+	// verdict is acceptable — the assertion is that Solve returns.
+	intr := new(atomic.Bool)
+	f := random3CNF(300, 1278, 4) // near the phase-transition ratio
+	s := New(f, Config{Interrupt: intr})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		intr.Store(true)
+	}()
+	done := make(chan Status, 1)
+	go func() { done <- s.Solve() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Solve did not return after interrupt")
+	}
+}

@@ -359,10 +359,19 @@ func (s *Solver) Model() cnf.Assignment {
 	return out
 }
 
+// interrupted reports whether an external Interrupt flag asks the
+// current Solve call to stop.
+func (s *Solver) interrupted() bool {
+	return s.cfg.Interrupt != nil && s.cfg.Interrupt.Load()
+}
+
 // Solve searches for a model of the clauses under the given assumptions.
 func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	if !s.ok || s.brokenL0 {
 		return Unsat
+	}
+	if s.interrupted() {
+		return Unknown
 	}
 	s.cancelUntil(0)
 	for _, a := range assumptions {
@@ -399,7 +408,8 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			return st
 		}
 		if (confLimit >= 0 && s.stats.Conflicts >= confLimit) ||
-			(propLimit >= 0 && s.stats.Propagations >= propLimit) {
+			(propLimit >= 0 && s.stats.Propagations >= propLimit) ||
+			s.interrupted() {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -438,7 +448,8 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 			s.cancelUntil(btLevel)
 			s.recordLearnt(learnt, lbd)
 			s.decayActivities()
-			if (confLimit >= 0 && s.stats.Conflicts >= confLimit) || localConf >= nConflicts {
+			if (confLimit >= 0 && s.stats.Conflicts >= confLimit) || localConf >= nConflicts ||
+				s.interrupted() {
 				return Unknown
 			}
 			continue
@@ -467,6 +478,12 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 			}
 		}
 		s.stats.Decisions++
+		// BSAT enumeration under priority branching is nearly
+		// conflict-free, so the budget checks above may never fire; poll
+		// the interrupt flag on a decision cadence too.
+		if s.stats.Decisions&1023 == 0 && s.interrupted() {
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(next, reason{})
 	}

@@ -13,6 +13,8 @@
 package sat
 
 import (
+	"sync/atomic"
+
 	"unigen/internal/cnf"
 )
 
@@ -67,6 +69,14 @@ type Config struct {
 	// functionally determined by the sampling set, so deciding the
 	// sampling set first makes witness enumeration nearly conflict-free.
 	PriorityVars []cnf.Var
+	// Interrupt, when non-nil, is polled during search (alongside the
+	// conflict-budget check and periodically between decisions). Once it
+	// reads true, Solve returns Unknown promptly, exactly as if the
+	// conflict budget had been exhausted; the solver state stays valid
+	// for further calls. Several solvers may share one flag — this is
+	// how context cancellation reaches every worker of a parallel
+	// sampling pool.
+	Interrupt *atomic.Bool
 	// RecordProof keeps a DRUP-style trace of learned clauses and
 	// mid-search axioms, verifiable with CheckRUPProof. Incompatible
 	// with GaussJordan (which is silently disabled when both are set):

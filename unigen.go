@@ -13,22 +13,42 @@
 //	f, _ := unigen.ParseDIMACSString(dimacs) // "c ind ..." lines set the sampling set
 //	s, _ := unigen.NewSampler(f, unigen.Options{Epsilon: 6, Seed: 1})
 //	w, _ := s.Sample()
-//	fmt.Println(w.Bits(f.SamplingSet))
+//	fmt.Println(w.Bits(f.SamplingVars()))
+//
+// (Options fields beyond Epsilon and Seed — SamplingSet, MaxConflicts,
+// MaxPropagations, GaussJordan, ApproxMCRounds, Workers — are optional;
+// f.SamplingVars() returns the declared sampling set, sorted, falling
+// back to all variables.)
 //
 // Given a tolerance ε > 1.71 and a sampling set S that is an
 // independent support of F, every witness y of F is returned with
 // probability within a (1+ε) factor of uniform (Theorem 1 of the
 // paper), and each call succeeds with probability at least 0.62.
+//
+// # Parallel sampling and seed splitting
+//
+// After the one-time setup, every sampling round is independent — the
+// loop is embarrassingly parallel. Setting Options.Workers ≥ 1 makes
+// SampleN fan rounds out over that many solver sessions. Reproducibility
+// is preserved by splitting the seed per round rather than per worker:
+// round i always runs on the RNG stream randx.Stream(Seed, i) (the i-th
+// output of a SplitMix64 generator seeded with Seed, finalized into a
+// fresh generator state), and rounds are consumed in index order. The
+// multiset of samples for a given Seed is therefore identical for any
+// worker count; only wall-clock time changes.
 package unigen
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/big"
+	"sync/atomic"
 
 	"unigen/internal/cnf"
 	"unigen/internal/core"
 	"unigen/internal/counter"
+	"unigen/internal/parallel"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
 )
@@ -96,6 +116,13 @@ type Options struct {
 	// ApproxMCRounds caps the setup-time approximate-counter iterations
 	// (0 keeps the paper's confidence parameters).
 	ApproxMCRounds int
+	// Workers ≥ 1 backs sampling with a pool of that many solver
+	// sessions and per-round seed streams (see the package comment on
+	// determinism: the sample multiset then depends only on Seed, not
+	// on Workers — Workers: 1 and Workers: 8 return the same samples).
+	// 0 keeps the legacy single-threaded engine with one continuous
+	// RNG stream.
+	Workers int
 }
 
 // Sampler draws almost-uniform witnesses of one formula. The expensive
@@ -103,30 +130,53 @@ type Options struct {
 // Sample call is cheap — the amortization that distinguishes UniGen
 // from its predecessors.
 type Sampler struct {
-	inner *core.Sampler
+	inner *core.Sampler    // legacy single-threaded engine (Workers == 0)
+	eng   *parallel.Engine // worker-pool engine (Workers ≥ 1)
+	intr  *atomic.Bool     // interrupt flag of the single-threaded engine
 	rng   *randx.RNG
 	f     *Formula
 }
 
 // NewSampler validates options and runs UniGen's setup phase.
 func NewSampler(f *Formula, opts Options) (*Sampler, error) {
-	rng := randx.New(opts.Seed ^ 0x0dac2014)
-	inner, err := core.NewSampler(f, rng, core.Options{
+	coreOpts := core.Options{
 		Epsilon:        opts.Epsilon,
 		SamplingSet:    opts.SamplingSet,
 		Solver:         sat.Config{MaxConflicts: opts.MaxConflicts, MaxPropagations: opts.MaxPropagations, GaussJordan: opts.GaussJordan, Seed: opts.Seed},
 		ApproxMCRounds: opts.ApproxMCRounds,
-	})
+	}
+	if opts.Workers >= 1 {
+		eng, err := parallel.NewEngine(f, parallel.Options{
+			Workers:    opts.Workers,
+			MasterSeed: opts.Seed,
+			Core:       coreOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Sampler{eng: eng, f: f}, nil
+	}
+	intr := new(atomic.Bool)
+	coreOpts.Solver.Interrupt = intr
+	rng := randx.New(opts.Seed ^ 0x0dac2014)
+	inner, err := core.NewSampler(f, rng, coreOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{inner: inner, rng: rng, f: f}, nil
+	return &Sampler{inner: inner, intr: intr, rng: rng, f: f}, nil
 }
 
 // Sample returns one almost-uniform witness, or ErrFailed for a ⊥
 // round (retry), or another error for unsatisfiable formulas / budget
 // exhaustion.
 func (s *Sampler) Sample() (Witness, error) {
+	if s.eng != nil {
+		w, err := s.eng.Sample(context.Background())
+		if err != nil {
+			return Witness{}, err
+		}
+		return Witness{a: w}, nil
+	}
 	w, err := s.inner.Sample(s.rng)
 	if err != nil {
 		return Witness{}, err
@@ -134,17 +184,50 @@ func (s *Sampler) Sample() (Witness, error) {
 	return Witness{a: w}, nil
 }
 
-// SampleN returns n witnesses, transparently retrying ⊥ rounds.
+// SampleN returns n witnesses, transparently retrying ⊥ rounds. With
+// Options.Workers > 1 the rounds are drawn by the worker pool.
 func (s *Sampler) SampleN(n int) ([]Witness, error) {
-	ws, _, err := s.inner.SampleMany(s.rng, n)
-	if err != nil {
-		return nil, err
+	return s.SampleNContext(context.Background(), n)
+}
+
+// SampleNContext is SampleN with cancellation: when ctx is cancelled,
+// in-flight SAT search is interrupted promptly and the error is
+// ctx.Err(). Witnesses completed before cancellation (or before any
+// other hard error) are returned alongside the error — check the error
+// before assuming the slice holds n entries.
+func (s *Sampler) SampleNContext(ctx context.Context, n int) ([]Witness, error) {
+	var ws []cnf.Assignment
+	var err error
+	if s.eng != nil {
+		ws, err = s.eng.SampleN(ctx, n)
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.intr.Store(false)
+		watchDone := make(chan struct{})
+		watcherGone := make(chan struct{})
+		go func() {
+			defer close(watcherGone)
+			select {
+			case <-ctx.Done():
+				s.intr.Store(true)
+			case <-watchDone:
+			}
+		}()
+		ws, _, err = s.inner.SampleMany(s.rng, n)
+		close(watchDone)
+		<-watcherGone
+		s.intr.Store(false)
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
 	}
 	out := make([]Witness, len(ws))
 	for i, w := range ws {
 		out[i] = Witness{a: w}
 	}
-	return out, nil
+	return out, err
 }
 
 // Stats reports observable sampler behaviour.
@@ -156,9 +239,15 @@ type Stats struct {
 	EasyCase  bool    // formula had few enough witnesses to enumerate
 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot. With Workers > 1 it is the merged view
+// over the setup phase and every worker's consumed rounds.
 func (s *Sampler) Stats() Stats {
-	st := s.inner.Stats()
+	var st core.Stats
+	if s.eng != nil {
+		st = s.eng.Stats()
+	} else {
+		st = s.inner.Stats()
+	}
 	return Stats{
 		Samples:   st.Samples,
 		Failures:  st.Failures,

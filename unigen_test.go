@@ -1,11 +1,13 @@
 package unigen
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/big"
 	"strings"
 	"testing"
+	"time"
 )
 
 const demoDIMACS = `c demo: (x1 ∨ x2) with x3 free
@@ -209,5 +211,74 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	}
 	if run() != run() {
 		t.Fatal("same seed produced different sample streams")
+	}
+}
+
+// hardDIMACS forces the hashing path: 1024 witnesses over the declared
+// 10-variable sampling set, hiThresh at ε=6 is well below that.
+const hardDIMACS = `c ind 1 2 3 4 5 6 7 8 9 10 0
+p cnf 12 1
+11 12 0
+`
+
+func TestWorkersDeterminism(t *testing.T) {
+	// The facade invariant for Workers ≥ 1: the sample stream is a
+	// function of Seed alone, whatever the pool size.
+	f, err := ParseDIMACSString(hardDIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) string {
+		s, err := NewSampler(f, Options{Epsilon: 6, Seed: 31, ApproxMCRounds: 15, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.SampleN(15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, w := range ws {
+			for _, b := range w.Bits(f.SamplingVars()) {
+				if b {
+					sb.WriteByte('1')
+				} else {
+					sb.WriteByte('0')
+				}
+			}
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != ref {
+			t.Fatalf("Workers=%d produced a different sample stream", workers)
+		}
+	}
+}
+
+func TestSampleNContextCancellation(t *testing.T) {
+	f, err := ParseDIMACSString(hardDIMACS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2} { // legacy path and pool path
+		s, err := NewSampler(f, Options{Epsilon: 6, Seed: 5, ApproxMCRounds: 15, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		if _, err := s.SampleNContext(ctx, 100000); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The sampler must remain usable afterwards.
+		if ws, err := s.SampleN(2); err != nil || len(ws) != 2 {
+			t.Fatalf("Workers=%d: post-cancel SampleN: %d witnesses, err=%v", workers, len(ws), err)
+		}
 	}
 }

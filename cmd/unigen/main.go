@@ -28,6 +28,7 @@ func main() {
 	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
 	rounds := flag.Int("amc-rounds", 0, "cap ApproxMC setup rounds (0 = paper default)")
 	jobs := flag.Int("j", 1, "parallel sampling workers (0 = all CPUs)")
+	stats := flag.Bool("stats", false, "print merged run statistics (rounds, BSAT calls, XOR rows, propagations) to stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: unigen [flags] formula.cnf")
@@ -79,6 +80,12 @@ func main() {
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "c success=%.3f avg-xor-len=%.1f easy=%v\n",
 		st.SuccProb, st.AvgXORLen, st.EasyCase)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "c rounds=%d samples=%d failures=%d bsat-calls=%d\n",
+			st.Rounds, st.Samples, st.Failures, st.BSATCalls)
+		fmt.Fprintf(os.Stderr, "c xor-rows=%d propagations=%d\n",
+			st.XORRows, st.Propagations)
+	}
 }
 
 func fatal(err error) {

@@ -36,7 +36,7 @@ type UniWitStats struct {
 	Failures  int64
 	BSATCalls int64
 	XORRows   int64
-	XORLenSum float64
+	XORLenSum int64 // total variables across xor rows (exact popcount total)
 }
 
 // AvgXORLen returns the mean XOR-clause length issued by UniWit.
@@ -44,7 +44,7 @@ func (st UniWitStats) AvgXORLen() float64 {
 	if st.XORRows == 0 {
 		return 0
 	}
-	return st.XORLenSum / float64(st.XORRows)
+	return float64(st.XORLenSum) / float64(st.XORRows)
 }
 
 // SuccessProb returns the observed success probability.
@@ -115,7 +115,7 @@ func (u *UniWit) Sample(rng *randx.RNG) (cnf.Assignment, error) {
 	for i := 1; i < len(fullSupport); i++ {
 		h := hashfam.Draw(rng, fullSupport, i)
 		u.stats.XORRows += int64(h.M())
-		u.stats.XORLenSum += h.AverageLen() * float64(h.M())
+		u.stats.XORLenSum += int64(h.TotalLen())
 		res := bsat.Enumerate(u.f, pivot+1, bsat.Options{
 			SamplingSet: fullSupport,
 			Hash:        h,

@@ -20,6 +20,8 @@
 package bsat
 
 import (
+	"slices"
+
 	"unigen/internal/cnf"
 	"unigen/internal/hashfam"
 	"unigen/internal/sat"
@@ -75,6 +77,7 @@ type Session struct {
 	cfg  sat.Config
 
 	s        *sat.Solver
+	colMap   []int32         // hash column → solver XOR column (nil: identity)
 	retired  []*sat.Selector // constraints of the previous call, released lazily
 	assumps  []cnf.Lit       // scratch: activation literals for the current call
 	blockBuf cnf.Clause      // scratch: blocking clause, reused across witnesses
@@ -99,7 +102,20 @@ func NewSession(f *cnf.Formula, opts Options) *Session {
 	se := &Session{f: f, nv: f.NumVars, vars: vars, cfg: cfg}
 	se.s = sat.New(f, cfg)
 	se.s.SetModelBound(se.nv)
+	se.registerColumns()
 	return se
+}
+
+// registerColumns pins the sampling set into the solver's packed XOR
+// column space, in hash-column order, so that drawn rows install by
+// word copy (colMap == nil) unless base-formula XOR clauses claimed
+// early columns first. Called after every (re)build.
+func (se *Session) registerColumns() {
+	if se.cfg.ScalarXOR {
+		se.colMap = nil
+		return
+	}
+	se.colMap = se.s.XORColumns(se.vars)
 }
 
 // SamplingSet returns the variables blocking clauses range over.
@@ -110,6 +126,7 @@ func (se *Session) SamplingSet() []cnf.Var { return se.vars }
 func (se *Session) rebuild() {
 	se.s = sat.New(se.f, se.cfg)
 	se.s.SetModelBound(se.nv)
+	se.registerColumns()
 	se.retired = se.retired[:0]
 	se.selCount = 0
 }
@@ -142,15 +159,54 @@ func (se *Session) Enumerate(n int, h *hashfam.Hash) Result {
 	se.retire()
 	sels := se.retired[:0]
 	acts := se.assumps[:0]
+	before := se.s.Stats()
+	emptyCell := false
 	if h != nil {
-		for _, r := range h.Rows {
-			sel := se.s.AddXORRemovable(r.Vars, r.RHS)
+		var cols []int32
+		if !se.cfg.ScalarXOR {
+			cols = se.colMap
+			if !slices.Equal(h.Vars, se.vars) {
+				// Hash drawn over a different variable space than the
+				// registered sampling set (e.g. a full-support hash):
+				// build this call's column mapping instead of assuming
+				// the cached one.
+				cols = se.s.XORColumns(h.Vars)
+			}
+		}
+		for i := range h.Rows {
+			r := &h.Rows[i]
+			if r.Empty() {
+				// A drawn row with no variables: 0 = 1 proves the cell
+				// empty outright (fail the cell fast, no solver call);
+				// 0 = 0 constrains nothing and is skipped. The row still
+				// counts in the caller's XOR stats — it was issued.
+				if r.RHS {
+					emptyCell = true
+					break
+				}
+				continue
+			}
+			var sel *sat.Selector
+			if se.cfg.ScalarXOR {
+				sel = se.s.AddXORRemovable(h.RowVars(i), r.RHS)
+			} else {
+				// Packed install: the drawn bits flow into the solver
+				// through the column map, no []cnf.Var ever materialized.
+				sel = se.s.AddPackedXORRemovable(r.Bits, r.RHS, cols)
+			}
 			sels = append(sels, sel)
 			acts = append(acts, sel.Lit())
 		}
 	}
-	before := se.s.Stats()
 	var res Result
+	if emptyCell {
+		res.Exhausted = true
+		se.selCount += len(sels)
+		se.retired = sels
+		se.assumps = acts
+		res.Stats = statsDelta(se.s.Stats(), before)
+		return res
+	}
 	var blockSel *sat.Selector // one selector guards every blocking clause of this cell
 loop:
 	for len(res.Witnesses) < n {
@@ -223,9 +279,11 @@ func Enumerate(f *cnf.Formula, n int, opts Options) Result {
 	if opts.Hash != nil {
 		// Hash rows go straight into the solver rather than onto a clone
 		// of the formula: BSAT is called thousands of times per sampling
-		// session and the clone dominated its cost.
-		for _, r := range opts.Hash.Rows {
-			if !s.AddXOR(r.Vars, r.RHS) {
+		// session and the clone dominated its cost. (This stateless path
+		// materializes row variables; the hot path is Session, which
+		// installs the packed bits directly.)
+		for i := range opts.Hash.Rows {
+			if !s.AddXOR(opts.Hash.RowVars(i), opts.Hash.Rows[i].RHS) {
 				return Result{Exhausted: true, Stats: s.Stats()}
 			}
 		}

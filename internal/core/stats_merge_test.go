@@ -9,24 +9,30 @@ import (
 
 func TestStatsMerge(t *testing.T) {
 	setup := Stats{BSATCalls: 1, SetupRounds: 15, Q: 7}
-	w1 := Stats{Samples: 3, Failures: 1, BSATCalls: 14, XORRows: 80, XORLenSum: 400}
-	w2 := Stats{Samples: 2, Failures: 2, BSATCalls: 12, XORRows: 64, XORLenSum: 320}
+	w1 := Stats{Samples: 3, Failures: 1, BSATCalls: 14, XORRows: 80, XORLenSum: 400, Propagations: 1000}
+	w2 := Stats{Samples: 2, Failures: 2, BSATCalls: 12, XORRows: 64, XORLenSum: 320, Propagations: 500}
 
 	got := setup.Merge(w1).Merge(w2)
 	want := Stats{
 		Samples: 5, Failures: 3, BSATCalls: 27,
-		XORRows: 144, XORLenSum: 720,
+		XORRows: 144, XORLenSum: 720, Propagations: 1500,
 		SetupRounds: 15, Q: 7,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("merged = %+v, want %+v", got, want)
 	}
-	if got.AvgXORLen() != 5 || got.SuccessProb() != 5.0/8 {
-		t.Fatalf("derived columns: avg=%v succ=%v", got.AvgXORLen(), got.SuccessProb())
+	if got.AvgXORLen() != 5 || got.SuccessProb() != 5.0/8 || got.Rounds() != 8 {
+		t.Fatalf("derived columns: avg=%v succ=%v rounds=%v", got.AvgXORLen(), got.SuccessProb(), got.Rounds())
 	}
 	// Merge must not mutate its operands (value semantics).
 	if setup.Samples != 0 || w1.Samples != 3 {
 		t.Fatal("Merge mutated an operand")
+	}
+	// Every counter is an integer, so Merge is order-insensitive — the
+	// property that frees the parallel collector from float ordering
+	// concerns.
+	if rev := setup.Merge(w2).Merge(w1); !reflect.DeepEqual(rev, got) {
+		t.Fatalf("merge order sensitivity: %+v vs %+v", rev, got)
 	}
 }
 

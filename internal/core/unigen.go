@@ -52,29 +52,35 @@ type Options struct {
 // a parallel run accumulates its own and the results are combined with
 // Merge, so the hot path carries no shared mutable counters.
 type Stats struct {
-	Samples     int64 // successful samples
-	Failures    int64 // ⊥ outcomes
-	BSATCalls   int64
-	XORRows     int64   // total xor clauses issued
-	XORLenSum   float64 // total literals across xor clauses
-	SetupRounds int     // ApproxMC rounds during setup
-	EasyCase    bool    // |R_F| ≤ hiThresh: sampling needs no hashing
-	Q           int     // the q of line 10
+	Samples   int64 // successful samples
+	Failures  int64 // ⊥ outcomes
+	BSATCalls int64
+	XORRows   int64 // total xor clauses issued
+	XORLenSum int64 // total variables across xor clauses (exact popcount total)
+	// Propagations counts solver propagations across this run's BSAT
+	// calls. Unlike every other counter it is a machine diagnostic, not
+	// a round property: it depends on the executing session's
+	// accumulated solver state (learned clauses, phase saving), so it is
+	// excluded from the parallel engine's stats-determinism contract —
+	// it may differ across worker counts while all other fields match.
+	Propagations int64
+	SetupRounds  int  // ApproxMC rounds during setup
+	EasyCase     bool // |R_F| ≤ hiThresh: sampling needs no hashing
+	Q            int  // the q of line 10
 }
 
 // Merge combines two stats values: counters add, EasyCase ors, and the
 // setup-derived Q takes the maximum (it is zero in per-round deltas).
-// Merge is commutative and associative over the integer counters; the
-// float XORLenSum is a sum, so bit-exact reproducibility of a merged
-// value additionally requires merging deltas in a fixed order (the
-// parallel engine merges per-round deltas in round order for exactly
-// this reason).
+// Merge is commutative and associative — every counter is an integer
+// (XORLenSum is an exact popcount total, not a float), so a merged
+// value is independent of merge order.
 func (st Stats) Merge(o Stats) Stats {
 	st.Samples += o.Samples
 	st.Failures += o.Failures
 	st.BSATCalls += o.BSATCalls
 	st.XORRows += o.XORRows
 	st.XORLenSum += o.XORLenSum
+	st.Propagations += o.Propagations
 	st.SetupRounds += o.SetupRounds
 	st.EasyCase = st.EasyCase || o.EasyCase
 	if o.Q > st.Q {
@@ -89,8 +95,12 @@ func (st Stats) AvgXORLen() float64 {
 	if st.XORRows == 0 {
 		return 0
 	}
-	return st.XORLenSum / float64(st.XORRows)
+	return float64(st.XORLenSum) / float64(st.XORRows)
 }
+
+// Rounds returns the number of sampling rounds attempted (successes
+// plus ⊥ outcomes).
+func (st Stats) Rounds() int64 { return st.Samples + st.Failures }
 
 // SuccessProb returns the observed success probability, the "Succ Prob"
 // column of Tables 1 and 2.
@@ -154,6 +164,7 @@ func NewSetup(f *cnf.Formula, rng *randx.RNG, opts Options) (*Setup, error) {
 		return nil, fmt.Errorf("%w (easy-case enumeration)", ErrBudget)
 	}
 	su.base.BSATCalls++
+	su.base.Propagations += res.Stats.Propagations
 	if len(res.Witnesses) <= kp.HiThresh {
 		su.easy = res.Witnesses
 		sortWitnesses(su.easy, su.s)
@@ -303,10 +314,11 @@ func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf
 			// right-hand sides by hashfam).
 			h := hashfam.Draw(rng, su.s, m)
 			st.XORRows += int64(h.M())
-			st.XORLenSum += h.AverageLen() * float64(h.M())
+			st.XORLenSum += int64(h.TotalLen())
 			// Line 16, on the caller's incremental session.
 			res = sess.Enumerate(kp.HiThresh+1, h)
 			st.BSATCalls++
+			st.Propagations += res.Stats.Propagations
 			if !res.BudgetExceeded {
 				ok = true
 				break
@@ -357,9 +369,10 @@ func (su *Setup) SampleBatchRound(sess *bsat.Session, rng *randx.RNG, st *Stats,
 		}
 		h := hashfam.Draw(rng, su.s, m)
 		st.XORRows += int64(h.M())
-		st.XORLenSum += h.AverageLen() * float64(h.M())
+		st.XORLenSum += int64(h.TotalLen())
 		res := sess.Enumerate(kp.HiThresh+1, h)
 		st.BSATCalls++
+		st.Propagations += res.Stats.Propagations
 		if res.BudgetExceeded {
 			return nil, ErrBudget
 		}

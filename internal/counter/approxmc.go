@@ -109,15 +109,15 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 	}
 
 	var estimates []*big.Int
-	var xorLenSum float64
+	var xorLenSum int64
 	var xorRows int
 	startAt := 1
 	for round := 0; round < t; round++ {
-		est, lastI, avgLen, rows, err := approxMCCore(sess, vars, pivot, startAt, rng)
+		est, lastI, lenSum, rows, err := approxMCCore(sess, vars, pivot, startAt, rng)
 		if err != nil {
 			return ApproxMCResult{}, err
 		}
-		xorLenSum += avgLen * float64(rows)
+		xorLenSum += lenSum
 		xorRows += rows
 		if est != nil {
 			estimates = append(estimates, est)
@@ -135,7 +135,7 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 	med := estimates[len(estimates)/2]
 	out := ApproxMCResult{Count: med, Rounds: len(estimates), TotalXORRows: xorRows}
 	if xorRows > 0 {
-		out.AvgXORLen = xorLenSum / float64(xorRows)
+		out.AvgXORLen = float64(xorLenSum) / float64(xorRows)
 	}
 	return out, nil
 }
@@ -143,38 +143,32 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 // approxMCCore adds i = startAt, startAt+1, ... random XOR constraints
 // until the cell becomes small enough, then scales. It returns the
 // estimate (nil when the loop runs out of hash bits or hits an empty
-// cell) and the i at which it succeeded. All cell probes run on the
-// caller's incremental session.
-func approxMCCore(sess *bsat.Session, vars []cnf.Var, pivot, startAt int, rng *randx.RNG) (*big.Int, int, float64, int, error) {
-	var lenSum float64
+// cell), the i at which it succeeded, and the exact XOR row/length
+// totals issued. All cell probes run on the caller's incremental
+// session.
+func approxMCCore(sess *bsat.Session, vars []cnf.Var, pivot, startAt int, rng *randx.RNG) (*big.Int, int, int64, int, error) {
+	var lenSum int64
 	rows := 0
 	if startAt < 1 {
 		startAt = 1
 	}
 	for i := startAt; i < len(vars); i++ {
 		h := hashfam.Draw(rng, vars, i)
-		lenSum += h.AverageLen() * float64(h.M())
+		lenSum += int64(h.TotalLen())
 		rows += h.M()
 		cnt, res := sess.Count(pivot+1, h)
 		if res.BudgetExceeded {
-			return nil, i, avgOf(lenSum, rows), rows, fmt.Errorf("counter: BSAT budget exhausted at %d hash bits", i)
+			return nil, i, lenSum, rows, fmt.Errorf("counter: BSAT budget exhausted at %d hash bits", i)
 		}
 		if cnt >= 1 && cnt <= pivot {
 			est := new(big.Int).Lsh(big.NewInt(int64(cnt)), uint(i))
-			return est, i, avgOf(lenSum, rows), rows, nil
+			return est, i, lenSum, rows, nil
 		}
 		if cnt == 0 {
 			// Cell empty: hash overshot; this round fails (CP'13 core
 			// reports failure rather than continuing to add constraints).
-			return nil, i, avgOf(lenSum, rows), rows, nil
+			return nil, i, lenSum, rows, nil
 		}
 	}
-	return nil, len(vars), avgOf(lenSum, rows), rows, nil
-}
-
-func avgOf(sum float64, n int) float64 {
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	return nil, len(vars), lenSum, rows, nil
 }

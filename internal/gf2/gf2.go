@@ -1,0 +1,148 @@
+// Package gf2 provides the dense bit-packed GF(2) row representation
+// shared by every layer that touches parity constraints: hashfam packs
+// drawn hash rows into it, the SAT solver stores and propagates XOR
+// clauses in it, and Gauss–Jordan elimination reduces systems of it
+// with word-wide XORs. One row is 64 coefficient bits per machine word
+// over a dense column space, plus a right-hand-side bit — the layout
+// that makes hash drawing, watch selection, parity folding, and row
+// elimination word-parallel instead of per-variable.
+package gf2
+
+import "math/bits"
+
+// WordBits is the number of columns per packed word.
+const WordBits = 64
+
+// Words returns the number of 64-bit words needed to cover ncols columns.
+func Words(ncols int) int { return (ncols + WordBits - 1) / WordBits }
+
+// TailMask returns the valid-bit mask of the last word covering ncols
+// columns: drawing rows from raw RNG words must clear the bits past the
+// column space. TailMask(0) is 0.
+func TailMask(ncols int) uint64 {
+	if r := ncols % WordBits; r != 0 {
+		return (uint64(1) << uint(r)) - 1
+	}
+	if ncols == 0 {
+		return 0
+	}
+	return ^uint64(0)
+}
+
+// Row is one linear constraint over GF(2): coefficient bits over a
+// dense column space plus the right-hand-side bit. The zero Row is the
+// empty (0 = 0) constraint.
+type Row struct {
+	Bits []uint64
+	RHS  bool
+}
+
+// NewRow returns an all-zero row over ncols columns.
+func NewRow(ncols int) Row { return Row{Bits: make([]uint64, Words(ncols))} }
+
+// Get reports whether column c's coefficient is set.
+func (r Row) Get(c int) bool {
+	return r.Bits[c>>6]&(1<<uint(c&63)) != 0
+}
+
+// Set sets column c's coefficient.
+func (r Row) Set(c int) { r.Bits[c>>6] |= 1 << uint(c&63) }
+
+// Flip toggles column c's coefficient (x ⊕ x = 0, so adding a repeated
+// variable cancels).
+func (r Row) Flip(c int) { r.Bits[c>>6] ^= 1 << uint(c&63) }
+
+// Xor adds row o into r (word-wide row elimination step). o must not be
+// wider than r.
+func (r *Row) Xor(o Row) {
+	for w, b := range o.Bits {
+		r.Bits[w] ^= b
+	}
+	r.RHS = r.RHS != o.RHS
+}
+
+// Len returns the number of set coefficients (the row's variable count).
+func (r Row) Len() int {
+	n := 0
+	for _, b := range r.Bits {
+		n += bits.OnesCount64(b)
+	}
+	return n
+}
+
+// Empty reports whether no coefficient is set.
+func (r Row) Empty() bool {
+	for _, b := range r.Bits {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstSet returns the lowest set column, or -1 for an empty row.
+func (r Row) FirstSet() int {
+	for w, b := range r.Bits {
+		if b != 0 {
+			return w<<6 | bits.TrailingZeros64(b)
+		}
+	}
+	return -1
+}
+
+// ForEachSet calls fn for every set column in ascending order.
+func (r Row) ForEachSet(fn func(c int)) {
+	for w, b := range r.Bits {
+		for b != 0 {
+			fn(w<<6 | bits.TrailingZeros64(b))
+			b &= b - 1
+		}
+	}
+}
+
+// ParityAnd returns the parity of the popcount of a AND b, the
+// word-parallel fold "XOR of a's coefficients restricted to the mask b"
+// (e.g. row bits against the assigned-true mask). b must be at least as
+// long as a.
+func ParityAnd(a, b []uint64) bool {
+	var acc uint64
+	for w, x := range a {
+		acc ^= x & b[w]
+	}
+	return bits.OnesCount64(acc)&1 == 1
+}
+
+// GaussJordan reduces the system in place to reduced row-echelon form
+// over GF(2) — full Jordan elimination, clearing each pivot column from
+// every other row, which shortens rows whenever the system has
+// redundancy. All rows must share the same width, covering ncols
+// columns. It reports whether an inconsistent 0 = 1 row arose.
+func GaussJordan(rows []Row, ncols int) (conflict bool) {
+	rank := 0
+	for col := 0; col < ncols && rank < len(rows); col++ {
+		w, b := col>>6, uint64(1)<<uint(col&63)
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i].Bits[w]&b != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := range rows {
+			if i != rank && rows[i].Bits[w]&b != 0 {
+				rows[i].Xor(rows[rank])
+			}
+		}
+		rank++
+	}
+	for i := range rows {
+		if rows[i].RHS && rows[i].Empty() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package gf2
+
+import (
+	"testing"
+
+	"unigen/internal/randx"
+)
+
+func TestWordsAndTailMask(t *testing.T) {
+	cases := []struct {
+		ncols, words int
+		tail         uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{63, 1, (1 << 63) - 1},
+		{64, 1, ^uint64(0)},
+		{65, 2, 1},
+		{130, 3, 3},
+	}
+	for _, c := range cases {
+		if got := Words(c.ncols); got != c.words {
+			t.Errorf("Words(%d) = %d, want %d", c.ncols, got, c.words)
+		}
+		if got := TailMask(c.ncols); got != c.tail {
+			t.Errorf("TailMask(%d) = %#x, want %#x", c.ncols, got, c.tail)
+		}
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	r := NewRow(130)
+	if !r.Empty() || r.Len() != 0 || r.FirstSet() != -1 {
+		t.Fatal("fresh row not empty")
+	}
+	for _, c := range []int{0, 63, 64, 129} {
+		r.Set(c)
+		if !r.Get(c) {
+			t.Fatalf("Set(%d) not visible", c)
+		}
+	}
+	if r.Len() != 4 || r.FirstSet() != 0 {
+		t.Fatalf("Len=%d FirstSet=%d", r.Len(), r.FirstSet())
+	}
+	r.Flip(0)
+	if r.Get(0) || r.Len() != 3 || r.FirstSet() != 63 {
+		t.Fatal("Flip broken")
+	}
+	var got []int
+	r.ForEachSet(func(c int) { got = append(got, c) })
+	want := []int{63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachSet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestXorAndParity(t *testing.T) {
+	a, b := NewRow(100), NewRow(100)
+	a.Set(1)
+	a.Set(70)
+	a.RHS = true
+	b.Set(70)
+	b.Set(99)
+	a.Xor(b)
+	if a.Get(70) || !a.Get(1) || !a.Get(99) || !a.RHS {
+		t.Fatal("Xor cancellation broken")
+	}
+	mask := make([]uint64, Words(100))
+	mask[0] = ^uint64(0)
+	if !ParityAnd(a.Bits, mask) { // only bit 1 lands in word 0
+		t.Fatal("ParityAnd word-0 fold wrong")
+	}
+	mask[1] = ^uint64(0)
+	if ParityAnd(a.Bits, mask) { // bits 1 and 99: even
+		t.Fatal("ParityAnd full fold wrong")
+	}
+}
+
+// TestGaussJordanAgainstBrute cross-checks elimination on random small
+// systems: the reduced system must have the same solution set as the
+// original, and conflict must be reported exactly when the original has
+// no solution.
+func TestGaussJordanAgainstBrute(t *testing.T) {
+	rng := randx.New(11)
+	const ncols = 9
+	for iter := 0; iter < 300; iter++ {
+		nrows := 1 + rng.Intn(12)
+		orig := make([]Row, nrows)
+		work := make([]Row, nrows)
+		for i := range orig {
+			r := NewRow(ncols)
+			r.Bits[0] = rng.Uint64() & TailMask(ncols)
+			r.RHS = rng.Bool()
+			orig[i] = r
+			cp := NewRow(ncols)
+			copy(cp.Bits, r.Bits)
+			cp.RHS = r.RHS
+			work[i] = cp
+		}
+		sat := func(rows []Row, pt uint64) bool {
+			for _, r := range rows {
+				par := ParityAnd(r.Bits, []uint64{pt})
+				if par != r.RHS {
+					return false
+				}
+			}
+			return true
+		}
+		solutions := func(rows []Row) map[uint64]bool {
+			out := map[uint64]bool{}
+			for pt := uint64(0); pt < 1<<ncols; pt++ {
+				if sat(rows, pt) {
+					out[pt] = true
+				}
+			}
+			return out
+		}
+		origSol := solutions(orig)
+		conflict := GaussJordan(work, ncols)
+		if conflict != (len(origSol) == 0) {
+			t.Fatalf("iter %d: conflict=%v but |solutions|=%d", iter, conflict, len(origSol))
+		}
+		if conflict {
+			continue
+		}
+		redSol := solutions(work)
+		if len(redSol) != len(origSol) {
+			t.Fatalf("iter %d: solution count changed %d -> %d", iter, len(origSol), len(redSol))
+		}
+		for pt := range origSol {
+			if !redSol[pt] {
+				t.Fatalf("iter %d: reduction lost solution %b", iter, pt)
+			}
+		}
+	}
+}

@@ -12,28 +12,43 @@
 // over ~n/2 variables in expectation — which is why UniGen's restriction
 // of n to the (small) independent support is the paper's key scalability
 // lever (§4).
+//
+// Rows are bit-packed (gf2.Row): column c of a row is variable Vars[c],
+// so Draw fills 64 coefficients per RNG word and row lengths are
+// popcounts. The packed layout flows unchanged into the solver — see
+// sat.Solver.AddPackedXORRemovable for the column-map contract.
 package hashfam
 
 import (
 	"unigen/internal/cnf"
+	"unigen/internal/gf2"
 	"unigen/internal/randx"
 )
 
-// XORConstraint is one row of a hash constraint h(y)[i] = α[i], already
-// folded into parity-constraint form over formula variables.
-type XORConstraint struct {
-	Vars []cnf.Var
-	RHS  bool
-}
-
 // Hash is a randomly drawn member of H_xor(|Vars|, m, 3) together with a
-// random target cell α, represented as m XOR constraints over Vars.
+// random target cell α, represented as m packed XOR rows over Vars.
+// Row bit c corresponds to Vars[c]; the row's constant a[i][0] and the
+// cell bit α[i] are folded into the RHS.
 type Hash struct {
-	Rows []XORConstraint
+	Vars []cnf.Var
+	Rows []gf2.Row
 }
 
 // M returns the number of hash bits (rows).
 func (h *Hash) M() int { return len(h.Rows) }
+
+// RowLen returns the number of variables in row i (a popcount).
+func (h *Hash) RowLen(i int) int { return h.Rows[i].Len() }
+
+// TotalLen returns the exact total number of variables across all rows.
+// Being an integer, it merges order-insensitively into run statistics.
+func (h *Hash) TotalLen() int {
+	total := 0
+	for _, r := range h.Rows {
+		total += r.Len()
+	}
+	return total
+}
 
 // AverageLen returns the mean number of variables per XOR row, the
 // statistic reported in the "Avg XOR len" columns of Tables 1 and 2.
@@ -41,21 +56,38 @@ func (h *Hash) AverageLen() float64 {
 	if len(h.Rows) == 0 {
 		return 0
 	}
-	total := 0
-	for _, r := range h.Rows {
-		total += len(r.Vars)
-	}
-	return float64(total) / float64(len(h.Rows))
+	return float64(h.TotalLen()) / float64(len(h.Rows))
+}
+
+// RowVars materializes row i as a variable slice, for consumers that
+// speak sparse XOR clauses (the stateless enumeration path, Apply, and
+// the solver's legacy scalar engine). The hot incremental path installs
+// the packed bits directly and never calls this.
+func (h *Hash) RowVars(i int) []cnf.Var {
+	r := h.Rows[i]
+	out := make([]cnf.Var, 0, r.Len())
+	r.ForEachSet(func(c int) { out = append(out, h.Vars[c]) })
+	return out
 }
 
 // Draw samples h uniformly from H_xor(len(vars), m, 3) and α uniformly
 // from {0,1}^m, returning the constraint h(vars) = α. Each variable
-// appears in each row independently with probability 1/2; the row's
-// constant a[i][0] and the cell bit α[i] fold into the RHS.
+// appears in each row independently with probability 1/2; rows are
+// generated 64 coefficient bits per RNG word.
 func Draw(rng *randx.RNG, vars []cnf.Var, m int) *Hash {
-	h := &Hash{Rows: make([]XORConstraint, m)}
+	h := &Hash{Vars: vars, Rows: make([]gf2.Row, m)}
+	words := gf2.Words(len(vars))
+	tail := gf2.TailMask(len(vars))
 	for i := 0; i < m; i++ {
-		h.Rows[i] = drawRow(rng, vars, 0.5)
+		bits := make([]uint64, words)
+		for w := range bits {
+			bits[w] = rng.Uint64()
+		}
+		if words > 0 {
+			bits[words-1] &= tail
+		}
+		// a[i][0] ⊕ α[i] folded into one random bit.
+		h.Rows[i] = gf2.Row{Bits: bits, RHS: rng.Bool()}
 	}
 	return h
 }
@@ -67,53 +99,43 @@ func Draw(rng *randx.RNG, vars []cnf.Var, m int) *Hash {
 // the DAC'14 paper (the variant "mitigates the performance bottleneck
 // significantly, but theoretical guarantees are lost").
 func DrawSparse(rng *randx.RNG, vars []cnf.Var, m int, q float64) *Hash {
-	h := &Hash{Rows: make([]XORConstraint, m)}
+	h := &Hash{Vars: vars, Rows: make([]gf2.Row, m)}
 	for i := 0; i < m; i++ {
-		h.Rows[i] = drawRow(rng, vars, q)
+		r := gf2.NewRow(len(vars))
+		for c := range vars {
+			if rng.Float64() < q {
+				r.Set(c)
+			}
+		}
+		r.RHS = rng.Bool()
+		h.Rows[i] = r
 	}
 	return h
-}
-
-func drawRow(rng *randx.RNG, vars []cnf.Var, q float64) XORConstraint {
-	var row XORConstraint
-	if q == 0.5 {
-		// Fast path: one random bit per variable.
-		for _, v := range vars {
-			if rng.Bool() {
-				row.Vars = append(row.Vars, v)
-			}
-		}
-	} else {
-		for _, v := range vars {
-			if rng.Float64() < q {
-				row.Vars = append(row.Vars, v)
-			}
-		}
-	}
-	// a[i][0] ⊕ α[i] folded into one random bit.
-	row.RHS = rng.Bool()
-	return row
 }
 
 // Apply conjoins the hash constraint to a copy of f and returns it; f is
 // not modified.
 func (h *Hash) Apply(f *cnf.Formula) *cnf.Formula {
 	g := f.Clone()
-	for _, r := range h.Rows {
-		g.AddXOR(r.Vars, r.RHS)
+	for i, r := range h.Rows {
+		g.AddXOR(h.RowVars(i), r.RHS)
 	}
 	return g
 }
 
 // Evaluate computes h(a)[i] for every row under assignment a and reports
-// whether a lands in the hash's target cell (all rows satisfied).
+// whether a lands in the hash's target cell (all rows satisfied). The
+// assignment is packed onto the hash's column space once, then each row
+// is a word-parallel parity fold.
 func (h *Hash) Evaluate(a cnf.Assignment) bool {
-	for _, r := range h.Rows {
-		par := false
-		for _, v := range r.Vars {
-			par = par != a.Get(v)
+	mask := make([]uint64, gf2.Words(len(h.Vars)))
+	for c, v := range h.Vars {
+		if a.Get(v) {
+			mask[c>>6] |= 1 << uint(c&63)
 		}
-		if par != r.RHS {
+	}
+	for _, r := range h.Rows {
+		if gf2.ParityAnd(r.Bits, mask) != r.RHS {
 			return false
 		}
 	}

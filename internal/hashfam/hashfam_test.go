@@ -22,12 +22,75 @@ func TestDrawShape(t *testing.T) {
 	if h.M() != 5 {
 		t.Fatalf("M = %d, want 5", h.M())
 	}
-	for _, r := range h.Rows {
-		for _, v := range r.Vars {
+	for i := range h.Rows {
+		for _, v := range h.RowVars(i) {
 			if v < 1 || v > 20 {
 				t.Fatalf("row var %d out of range", v)
 			}
 		}
+	}
+}
+
+// TestDrawPackedProperties checks the packed generator against the
+// family's defining statistics: each variable joins each row
+// independently with probability 1/2 (within 5σ per variable), no bits
+// leak past the column space (the tail-mask regression for |vars| not a
+// multiple of 64), and the popcount row lengths agree with the
+// materialized rows and the AverageLen/TotalLen accounting.
+func TestDrawPackedProperties(t *testing.T) {
+	rng := randx.New(9)
+	const n, rows = 67, 4000 // 67: exercises the tail mask
+	vars := allVars(n)
+	h := Draw(rng, vars, rows)
+
+	counts := make([]int, n)
+	total := 0
+	for i := range h.Rows {
+		rv := h.RowVars(i)
+		if got := h.RowLen(i); got != len(rv) {
+			t.Fatalf("row %d: popcount len %d != materialized len %d", i, got, len(rv))
+		}
+		total += len(rv)
+		for _, v := range rv {
+			if v < 1 || v > n {
+				t.Fatalf("row %d: variable %d outside the column space", i, v)
+			}
+			counts[v-1]++
+		}
+		for w, b := range h.Rows[i].Bits {
+			if w == len(h.Rows[i].Bits)-1 && b&^((1<<(n%64))-1) != 0 {
+				t.Fatalf("row %d: bits set past column %d", i, n)
+			}
+		}
+	}
+	if h.TotalLen() != total {
+		t.Fatalf("TotalLen = %d, want %d", h.TotalLen(), total)
+	}
+	if avg := h.AverageLen(); math.Abs(avg-float64(total)/rows) > 1e-9 {
+		t.Fatalf("AverageLen = %v, want %v", avg, float64(total)/rows)
+	}
+	sigma := math.Sqrt(0.25 / rows)
+	for v, c := range counts {
+		freq := float64(c) / rows
+		if math.Abs(freq-0.5) > 5*sigma {
+			t.Fatalf("variable %d inclusion frequency %.4f, want 0.5 ± %.4f", v+1, freq, 5*sigma)
+		}
+	}
+}
+
+// TestDrawEmptyRow: with an empty variable list every row is the empty
+// constraint; RHS stays random. Install-time handling of such rows is
+// the bsat layer's job (see the session's fail-fast path).
+func TestDrawEmptyRow(t *testing.T) {
+	rng := randx.New(10)
+	h := Draw(rng, nil, 8)
+	for i := range h.Rows {
+		if !h.Rows[i].Empty() || h.RowLen(i) != 0 {
+			t.Fatalf("row %d not empty", i)
+		}
+	}
+	if h.TotalLen() != 0 || h.AverageLen() != 0 {
+		t.Fatal("empty hash length accounting wrong")
 	}
 }
 

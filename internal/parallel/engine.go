@@ -141,10 +141,11 @@ func (e *Engine) Sample(ctx context.Context) (cnf.Assignment, error) {
 func (e *Engine) Setup() *core.Setup { return e.setup }
 
 // Stats returns the merged statistics: the setup phase plus every round
-// consumed by SampleN calls so far, merged in round order (so the value
-// is reproducible for a fixed master seed, worker count
-// notwithstanding). Speculative rounds that completed beyond the last
-// consumed index are not included.
+// consumed by SampleN calls so far. core.Stats.Merge is order-
+// insensitive (all counters are integers), and the consumed round
+// prefix depends only on the master seed, so the value is reproducible
+// for a fixed seed at any worker count. Speculative rounds that
+// completed beyond the last consumed index are not included.
 func (e *Engine) Stats() core.Stats { return e.stats }
 
 // SampleN draws n almost-uniform witnesses using the worker pool,
@@ -208,12 +209,11 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 		}(sess)
 	}
 
-	// Collector: consume rounds strictly in index order, merging their
-	// stats deltas and keeping successes, until n witnesses are in hand
-	// or a hard error surfaces in the consumed prefix. Rounds completed
-	// beyond that boundary are speculative and discarded entirely —
-	// witnesses and stats — so the consumed prefix, and everything
-	// derived from it, is independent of pool shape.
+	// Collector: consume rounds strictly in index order — that is what
+	// pins which rounds constitute the run, making the witness multiset
+	// (and the stats merged over exactly those rounds) independent of
+	// pool shape. Rounds completed beyond the consumed prefix are
+	// speculative and discarded entirely, witnesses and stats.
 	var (
 		out      []cnf.Assignment
 		firstErr error

@@ -1,122 +1,68 @@
 package sat
 
 import (
-	"math/bits"
 	"sort"
 
 	"unigen/internal/cnf"
+	"unigen/internal/gf2"
 )
 
-// gaussJordan runs Gauss–Jordan elimination over GF(2) on the XOR system,
-// mirroring CryptoMiniSAT's preprocessing of parity constraints. It
-// returns the reduced XOR clauses, any implied unit literals, and whether
-// the system is inconsistent (0 = 1 row).
+// gaussReduce runs Gauss–Jordan elimination over GF(2) on an XOR system
+// given as sparse clauses, mirroring CryptoMiniSAT's preprocessing of
+// parity constraints. It returns the reduced XOR clauses, any implied
+// unit literals, and whether the system is inconsistent (0 = 1 row).
 //
 // Full Jordan reduction (eliminating pivots from all rows, not just
 // later ones) tends to shorten rows when the system has redundancy,
 // which directly reduces XOR propagation cost during search.
-func gaussJordan(xs []cnf.XORClause) (reduced []cnf.XORClause, units []cnf.Lit, conflict bool) {
+//
+// This is the sparse-facing wrapper used by the legacy scalar engine
+// and by property tests; the packed engine eliminates directly on rows
+// over the solver's own column space (Solver.gaussInstallPacked) and
+// never materializes []cnf.Var.
+func gaussReduce(xs []cnf.XORClause) (reduced []cnf.XORClause, units []cnf.Lit, conflict bool) {
 	// Collect the variables involved and assign dense columns.
-	varSet := map[cnf.Var]int{}
+	seen := map[cnf.Var]bool{}
 	var vars []cnf.Var
 	for _, x := range xs {
 		for _, v := range x.Vars {
-			if _, ok := varSet[v]; !ok {
-				varSet[v] = 0
+			if !seen[v] {
+				seen[v] = true
 				vars = append(vars, v)
 			}
 		}
 	}
 	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	col := make(map[cnf.Var]int, len(vars))
 	for i, v := range vars {
-		varSet[v] = i
+		col[v] = i
 	}
 	ncols := len(vars)
-	words := (ncols + 63) / 64
 
-	// Rows: words of lhs bits + rhs flag.
-	type row struct {
-		bits []uint64
-		rhs  bool
-	}
-	rows := make([]row, 0, len(xs))
-	for _, x := range xs {
-		r := row{bits: make([]uint64, words), rhs: x.RHS}
+	rows := make([]gf2.Row, len(xs))
+	for i, x := range xs {
+		r := gf2.NewRow(ncols)
 		for _, v := range x.Vars {
-			c := varSet[v]
-			r.bits[c/64] ^= 1 << uint(c%64)
+			r.Flip(col[v])
 		}
-		rows = append(rows, r)
+		r.RHS = x.RHS
+		rows[i] = r
 	}
 
-	firstSet := func(r row) int {
-		for w, b := range r.bits {
-			if b != 0 {
-				for k := 0; k < 64; k++ {
-					if b&(1<<uint(k)) != 0 {
-						return w*64 + k
-					}
-				}
-			}
-		}
-		return -1
+	if gf2.GaussJordan(rows, ncols) {
+		return nil, nil, true // 0 = 1
 	}
-	xorInto := func(dst, src row) row {
-		for w := range dst.bits {
-			dst.bits[w] ^= src.bits[w]
-		}
-		dst.rhs = dst.rhs != src.rhs
-		return dst
-	}
-	hasBit := func(r row, c int) bool {
-		return r.bits[c/64]&(1<<uint(c%64)) != 0
-	}
-
-	// Forward elimination with full Jordan back-substitution.
-	rank := 0
-	for col := 0; col < ncols && rank < len(rows); col++ {
-		pivot := -1
-		for i := rank; i < len(rows); i++ {
-			if hasBit(rows[i], col) {
-				pivot = i
-				break
-			}
-		}
-		if pivot < 0 {
-			continue
-		}
-		rows[rank], rows[pivot] = rows[pivot], rows[rank]
-		for i := 0; i < len(rows); i++ {
-			if i != rank && hasBit(rows[i], col) {
-				rows[i] = xorInto(rows[i], rows[rank])
-			}
-		}
-		rank++
-	}
-
 	for _, r := range rows {
-		fs := firstSet(r)
-		if fs < 0 {
-			if r.rhs {
-				return nil, nil, true // 0 = 1
-			}
-			continue // redundant row
+		switch r.Len() {
+		case 0:
+			// redundant row
+		case 1:
+			units = append(units, cnf.MkLit(vars[r.FirstSet()], !r.RHS))
+		default:
+			rv := make([]cnf.Var, 0, r.Len())
+			r.ForEachSet(func(c int) { rv = append(rv, vars[c]) })
+			reduced = append(reduced, cnf.XORClause{Vars: rv, RHS: r.RHS})
 		}
-		// Collect the row's variables.
-		var rv []cnf.Var
-		for w, b := range r.bits {
-			for b != 0 {
-				k := b & (-b)
-				c := w*64 + bits.TrailingZeros64(k)
-				rv = append(rv, vars[c])
-				b &^= k
-			}
-		}
-		if len(rv) == 1 {
-			units = append(units, cnf.MkLit(rv[0], !r.rhs))
-			continue
-		}
-		reduced = append(reduced, cnf.XORClause{Vars: rv, RHS: r.rhs})
 	}
 	return reduced, units, false
 }

@@ -1,6 +1,11 @@
 package sat
 
-import "unigen/internal/cnf"
+import (
+	mbits "math/bits"
+
+	"unigen/internal/cnf"
+	"unigen/internal/gf2"
+)
 
 // Incremental solving with retractable constraints.
 //
@@ -202,6 +207,12 @@ func (s *Solver) AddXORRemovable(vars []cnf.Var, rhs bool) *Selector {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddXORRemovable above level 0")
 	}
+	if !s.cfg.ScalarXOR {
+		// Pack onto the solver's column space and take the packed
+		// removable path (identity column mapping).
+		norm, nrhs := cnf.NormalizeXOR(vars, rhs)
+		return s.AddPackedXORRemovable(s.packXORRow(norm), nrhs, nil)
+	}
 	v := s.newSelectorVar(selXORGuard)
 	sel := &Selector{act: cnf.MkLit(v, true)} // active when a = false
 	if !s.ok {
@@ -230,18 +241,52 @@ func (s *Solver) AddXORRemovable(vars []cnf.Var, rhs bool) *Selector {
 	}
 	out = append(out, v)
 	x := xorClause{vars: out, rhs: nrhs, w: [2]int{0, 1}, sel: v}
-	var idx int32
-	if n := len(s.freeXors); n > 0 {
-		idx = s.freeXors[n-1]
-		s.freeXors = s.freeXors[:n-1]
-		s.xors[idx] = x
-	} else {
-		idx = int32(len(s.xors))
-		s.xors = append(s.xors, x)
-	}
-	s.occXor[out[0]] = append(s.occXor[out[0]], idx)
-	s.occXor[out[1]] = append(s.occXor[out[1]], idx)
+	idx := s.pushXorClause(x, out[0], out[1])
 	sel.xors = append(sel.xors, idx)
+	return sel
+}
+
+// AddPackedXORRemovable installs a drawn GF(2) row as a removable
+// constraint without materializing a variable slice: bit c of bits
+// refers to solver XOR column cols[c], or — when cols is nil — to
+// solver column c directly. The nil (identity) case is the column-map
+// contract with hashfam: a session registers the sampling set via
+// XORColumns before any selector exists, hash rows are packed over the
+// sampling set in the same order, and installation is a word copy plus
+// one selector bit. bits is not retained. Must be called at decision
+// level 0; packed engine only.
+func (s *Solver) AddPackedXORRemovable(bits []uint64, rhs bool, cols []int32) *Selector {
+	if s.decisionLevel() != 0 {
+		panic("sat: AddPackedXORRemovable above level 0")
+	}
+	if s.cfg.ScalarXOR {
+		panic("sat: AddPackedXORRemovable requires the packed XOR engine")
+	}
+	v := s.newSelectorVar(selXORGuard)
+	sel := &Selector{act: cnf.MkLit(v, true)} // active when a = false
+	if !s.ok {
+		return sel
+	}
+	selCol := s.xorColumn(v)
+	row := make([]uint64, gf2.Words(len(s.xvarOf)))
+	if cols == nil {
+		copy(row, bits)
+	} else {
+		for w, b := range bits {
+			for b != 0 {
+				c := w<<6 | mbits.TrailingZeros64(b)
+				b &= b - 1
+				sc := cols[c]
+				row[sc>>6] |= 1 << uint(sc&63)
+			}
+		}
+	}
+	s.installPackedXOR(row, rhs, sel, selCol)
+	if len(sel.xors) == 0 {
+		// The row resolved at level 0 (empty or fully assigned): no
+		// constraint holds the column, so recycle it right away.
+		s.freeXorColumn(v)
+	}
 	return sel
 }
 
@@ -262,8 +307,14 @@ func (s *Solver) Release(sel *Selector) {
 	sel.cls = nil
 	for _, xi := range sel.xors {
 		x := &s.xors[xi]
-		s.detachXORWatch(x.vars[x.w[0]], xi)
-		s.detachXORWatch(x.vars[x.w[1]], xi)
+		if x.bits != nil {
+			s.detachXORWatch(s.xvarOf[x.w[0]], xi)
+			s.detachXORWatch(s.xvarOf[x.w[1]], xi)
+			s.freeXorColumn(x.sel)
+		} else {
+			s.detachXORWatch(x.vars[x.w[0]], xi)
+			s.detachXORWatch(x.vars[x.w[1]], xi)
+		}
 		s.xors[xi] = xorClause{}
 		s.freeXors = append(s.freeXors, xi)
 	}

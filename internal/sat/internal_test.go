@@ -45,26 +45,29 @@ func TestWatchInvariant(t *testing.T) {
 }
 
 // TestXOROccInvariant verifies that each XOR clause is present in
-// exactly the occurrence lists of its two watched variables.
+// exactly the occurrence lists of its two watched variables, under both
+// XOR engines.
 func TestXOROccInvariant(t *testing.T) {
-	rng := randx.New(72)
-	f := randomXORCNF(rng, 12, 10, 3, 6)
-	s := New(f, Config{})
-	s.Solve()
-	occ := map[int32]int{}
-	for v := 1; v <= s.numVars; v++ {
-		for _, xi := range s.occXor[v] {
-			x := &s.xors[xi]
-			if x.vars[x.w[0]] != cnf.Var(v) && x.vars[x.w[1]] != cnf.Var(v) {
-				t.Fatalf("xor %d in occ list of %d but watches %d/%d",
-					xi, v, x.vars[x.w[0]], x.vars[x.w[1]])
+	for _, scalar := range []bool{false, true} {
+		rng := randx.New(72)
+		f := randomXORCNF(rng, 12, 10, 3, 6)
+		s := New(f, Config{ScalarXOR: scalar})
+		s.Solve()
+		occ := map[int32]int{}
+		for v := 1; v <= s.numVars; v++ {
+			for _, xi := range s.occXor[v] {
+				x := &s.xors[xi]
+				if s.xorWatchVar(x, 0) != cnf.Var(v) && s.xorWatchVar(x, 1) != cnf.Var(v) {
+					t.Fatalf("scalar=%v: xor %d in occ list of %d but watches %d/%d",
+						scalar, xi, v, s.xorWatchVar(x, 0), s.xorWatchVar(x, 1))
+				}
+				occ[xi]++
 			}
-			occ[xi]++
 		}
-	}
-	for xi := range s.xors {
-		if got := occ[int32(xi)]; got != 2 {
-			t.Fatalf("xor %d has %d occurrence entries, want 2", xi, got)
+		for xi := range s.xors {
+			if got := occ[int32(xi)]; got != 2 {
+				t.Fatalf("scalar=%v: xor %d has %d occurrence entries, want 2", scalar, xi, got)
+			}
 		}
 	}
 }

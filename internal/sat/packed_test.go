@@ -1,0 +1,285 @@
+package sat
+
+import (
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/randx"
+)
+
+// This file is the packed/legacy differential gate for the bit-packed
+// XOR engine: the packed solver (default) and the scalar reference
+// (Config.ScalarXOR) must agree on randomized CNF+XOR systems —
+// identical SAT/UNSAT verdicts, identical level-0 implied units
+// (the trail modulo order), and identical full model sets under
+// blocking-clause enumeration.
+
+// levelZeroLits returns the set of literals on the level-0 trail.
+func levelZeroLits(s *Solver) map[cnf.Lit]bool {
+	out := map[cnf.Lit]bool{}
+	end := len(s.trail)
+	if len(s.trailLim) > 0 {
+		end = s.trailLim[0]
+	}
+	for _, l := range s.trail[:end] {
+		out[l] = true
+	}
+	return out
+}
+
+// enumerateAll collects every model of the solver over vars 1..n,
+// projected to a canonical key, using blocking clauses.
+func enumerateAll(t *testing.T, s *Solver, n int) map[string]bool {
+	t.Helper()
+	vars := make([]cnf.Var, n)
+	for i := range vars {
+		vars[i] = cnf.Var(i + 1)
+	}
+	out := map[string]bool{}
+	for len(out) < 1<<uint(n) {
+		switch s.Solve() {
+		case Sat:
+			m := s.Model()
+			key := m.Project(vars)
+			if out[key] {
+				t.Fatal("enumeration repeated a model")
+			}
+			out[key] = true
+			block := make(cnf.Clause, 0, n)
+			for _, v := range vars {
+				block = append(block, cnf.MkLit(v, m.Get(v)))
+			}
+			if !s.AddClause(block) {
+				return out
+			}
+		case Unsat:
+			return out
+		default:
+			t.Fatal("budget exhausted in differential enumeration")
+		}
+	}
+	return out
+}
+
+func buildRandomXORCNF(rng *randx.RNG, n int) *cnf.Formula {
+	f := cnf.New(n)
+	nclauses := rng.Intn(2 * n)
+	for i := 0; i < nclauses; i++ {
+		width := 1 + rng.Intn(3)
+		lits := make([]int, 0, width)
+		for k := 0; k < width; k++ {
+			v := 1 + rng.Intn(n)
+			if rng.Bool() {
+				v = -v
+			}
+			lits = append(lits, v)
+		}
+		f.AddClause(lits...)
+	}
+	nxors := 1 + rng.Intn(n)
+	for i := 0; i < nxors; i++ {
+		width := 1 + rng.Intn(n)
+		vars := make([]cnf.Var, 0, width)
+		for k := 0; k < width; k++ {
+			vars = append(vars, cnf.Var(1+rng.Intn(n)))
+		}
+		f.AddXOR(vars, rng.Bool())
+	}
+	return f
+}
+
+// TestPackedScalarDifferential compares the two engines on randomized
+// XOR-heavy systems, with and without Gauss–Jordan preprocessing.
+func TestPackedScalarDifferential(t *testing.T) {
+	rng := randx.New(0x9acced)
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	for iter := 0; iter < iters; iter++ {
+		n := 4 + rng.Intn(7)
+		f := buildRandomXORCNF(rng, n)
+		for _, gauss := range []bool{false, true} {
+			packed := New(f, Config{Seed: uint64(iter), GaussJordan: gauss})
+			scalar := New(f, Config{Seed: uint64(iter), GaussJordan: gauss, ScalarXOR: true})
+			if packed.Okay() != scalar.Okay() {
+				t.Fatalf("iter %d gauss=%v: construction Okay %v vs %v",
+					iter, gauss, packed.Okay(), scalar.Okay())
+			}
+			pl0, sl0 := levelZeroLits(packed), levelZeroLits(scalar)
+			for l := range pl0 {
+				if int(l.Var()) <= n && !sl0[l] {
+					t.Fatalf("iter %d gauss=%v: packed implies %v at level 0, scalar does not", iter, gauss, l)
+				}
+			}
+			for l := range sl0 {
+				if int(l.Var()) <= n && !pl0[l] {
+					t.Fatalf("iter %d gauss=%v: scalar implies %v at level 0, packed does not", iter, gauss, l)
+				}
+			}
+			pm := enumerateAll(t, packed, n)
+			sm := enumerateAll(t, scalar, n)
+			if len(pm) != len(sm) {
+				t.Fatalf("iter %d gauss=%v: model counts %d vs %d", iter, gauss, len(pm), len(sm))
+			}
+			for k := range pm {
+				if !sm[k] {
+					t.Fatalf("iter %d gauss=%v: packed found a model scalar did not", iter, gauss)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedScalarRemovableDifferential drives the removable-XOR
+// machinery (the session substrate) through randomized install/solve/
+// release schedules on both engines and demands identical status
+// sequences and mutually valid models.
+func TestPackedScalarRemovableDifferential(t *testing.T) {
+	rng := randx.New(0x5e55)
+	iters := 60
+	if testing.Short() {
+		iters = 20
+	}
+	for iter := 0; iter < iters; iter++ {
+		n := 5 + rng.Intn(6)
+		f := buildRandomXORCNF(rng, n)
+		packed := New(f, Config{Seed: uint64(iter)})
+		scalar := New(f, Config{Seed: uint64(iter), ScalarXOR: true})
+		if packed.Okay() != scalar.Okay() {
+			t.Fatalf("iter %d: construction disagrees", iter)
+		}
+		if !packed.Okay() {
+			continue
+		}
+		// Draw one shared schedule of removable rows and replay it on
+		// both solvers.
+		type drawnRow struct {
+			vars []cnf.Var
+			rhs  bool
+		}
+		for round := 0; round < 6; round++ {
+			nrows := 1 + rng.Intn(3)
+			rows := make([]drawnRow, nrows)
+			for i := range rows {
+				width := rng.Intn(n + 1)
+				vars := make([]cnf.Var, 0, width)
+				for k := 0; k < width; k++ {
+					vars = append(vars, cnf.Var(1+rng.Intn(n)))
+				}
+				rows[i] = drawnRow{vars: vars, rhs: rng.Bool()}
+			}
+			install := func(s *Solver) ([]*Selector, []cnf.Lit) {
+				sels := make([]*Selector, 0, nrows)
+				acts := make([]cnf.Lit, 0, nrows)
+				for _, r := range rows {
+					sel := s.AddXORRemovable(r.vars, r.rhs)
+					sels = append(sels, sel)
+					acts = append(acts, sel.Lit())
+				}
+				return sels, acts
+			}
+			psels, pacts := install(packed)
+			ssels, sacts := install(scalar)
+			pst := packed.Solve(pacts...)
+			sst := scalar.Solve(sacts...)
+			if pst != sst {
+				t.Fatalf("iter %d round %d: status %v vs %v", iter, round, pst, sst)
+			}
+			if pst == Sat {
+				// Each engine's model must satisfy the base formula and
+				// every active row — checked against the other engine's
+				// semantics via plain evaluation.
+				check := func(m cnf.Assignment, tag string) {
+					if !m.Satisfies(f) {
+						t.Fatalf("iter %d round %d: %s model violates base formula", iter, round, tag)
+					}
+					for _, r := range rows {
+						norm, nrhs := cnf.NormalizeXOR(r.vars, r.rhs)
+						par := false
+						for _, v := range norm {
+							par = par != m.Get(v)
+						}
+						if len(norm) == 0 {
+							if nrhs {
+								t.Fatalf("iter %d round %d: SAT despite empty 0=1 row", iter, round)
+							}
+							continue
+						}
+						if par != nrhs {
+							t.Fatalf("iter %d round %d: %s model violates an active row", iter, round, tag)
+						}
+					}
+				}
+				check(packed.Model(), "packed")
+				check(scalar.Model(), "scalar")
+			}
+			for i := range psels {
+				packed.Release(psels[i])
+				scalar.Release(ssels[i])
+			}
+			if packed.Tainted() || scalar.Tainted() {
+				break // both would be rebuilt by a session; stop the replay
+			}
+			packed.CollectGarbage()
+			scalar.CollectGarbage()
+		}
+	}
+}
+
+// TestGaussPackedColumnDedup: variables shared across base XOR clauses
+// must get exactly one column each under Gauss preprocessing (the
+// pending-marker dedup regression: overlapping rows used to re-append
+// a variable per occurrence, inflating the column space).
+func TestGaussPackedColumnDedup(t *testing.T) {
+	f := cnf.New(3)
+	f.AddXOR([]cnf.Var{1, 2, 3}, true)
+	f.AddXOR([]cnf.Var{2, 3}, false)
+	s := New(f, Config{GaussJordan: true})
+	if got := len(s.xvarOf); got != 3 {
+		t.Fatalf("column space has %d entries for 3 distinct XOR variables: %v", got, s.xvarOf)
+	}
+	seen := map[cnf.Var]bool{}
+	for _, v := range s.xvarOf {
+		if seen[v] {
+			t.Fatalf("variable %d columned twice: %v", v, s.xvarOf)
+		}
+		seen[v] = true
+	}
+	if s.Solve() != Sat {
+		t.Fatal("solve failed")
+	}
+}
+
+// TestPackedColumnRecycling: releasing hash rows must recycle their
+// selector columns, keeping the packed column space at O(|S| + m)
+// instead of growing with the lifetime selector count.
+func TestPackedColumnRecycling(t *testing.T) {
+	f := cnf.New(8)
+	f.AddClause(1, 2)
+	s := New(f, Config{})
+	vars := []cnf.Var{1, 2, 3, 4, 5, 6, 7, 8}
+	if cols := s.XORColumns(vars); cols != nil {
+		t.Fatalf("first registration not identity: %v", cols)
+	}
+	width := func() int { return len(s.xvarOf) }
+	base := width()
+	for round := 0; round < 50; round++ {
+		sels := make([]*Selector, 3)
+		acts := make([]cnf.Lit, 3)
+		for i := range sels {
+			sels[i] = s.AddXORRemovable(vars[i:i+4], i%2 == 0)
+			acts[i] = sels[i].Lit()
+		}
+		if s.Solve(acts...) != Sat {
+			t.Fatalf("round %d: unexpected UNSAT", round)
+		}
+		for _, sel := range sels {
+			s.Release(sel)
+		}
+		s.CollectGarbage()
+	}
+	if got := width(); got > base+3 {
+		t.Fatalf("column space grew to %d (base %d): selector columns not recycled", got, base)
+	}
+}

@@ -1,6 +1,10 @@
 package sat
 
-import "unigen/internal/cnf"
+import (
+	"math/bits"
+
+	"unigen/internal/cnf"
+)
 
 // propagate performs unit propagation (CNF watches, then XOR watches)
 // for every literal on the trail past qhead. It returns the conflicting
@@ -87,6 +91,114 @@ func (s *Solver) propagateClauses(p cnf.Lit) *clause {
 // propagateXORs visits every XOR clause watching variable v after v was
 // assigned (either polarity: parity constraints react to both).
 func (s *Solver) propagateXORs(v cnf.Var) *clause {
+	if !s.cfg.ScalarXOR {
+		return s.propagateXORsPacked(v)
+	}
+	return s.propagateXORsScalar(v)
+}
+
+// propagateXORsPacked is the word-parallel engine: watch replacement is
+// a TrailingZeros64 scan over the row's coefficient words masked by the
+// unassigned columns, and the parity of the assigned variables is one
+// popcount fold against the assigned-true mask — no per-variable loop.
+func (s *Solver) propagateXORsPacked(v cnf.Var) *clause {
+	occ := s.occXor[v]
+	vcol := int(s.xcolOf[v])
+	i, j := 0, 0
+	for i < len(occ) {
+		xi := occ[i]
+		x := &s.xors[xi]
+		wi := 0
+		if x.w[1] == vcol {
+			wi = 1
+		}
+		otherCol := x.w[1-wi]
+		off := int(x.off)
+		// Word scan for an unassigned column to move this watch to. v's
+		// column is excluded by the assignment mask; the other watch is
+		// masked out explicitly. bits is the row's window: word w maps to
+		// global word off+w. Single-word rows — every session hash row
+		// over a ≤64-column sampling-set+selector band, and most Tseitin
+		// parities — take a branch-free specialization.
+		var par bool
+		if len(x.bits) == 1 {
+			b := x.bits[0]
+			cand := b &^ s.xAssigned[off] &^ (1 << uint(otherCol&63))
+			if cand != 0 {
+				nc := off<<6 | bits.TrailingZeros64(cand)
+				x.w[wi] = nc
+				nv := s.xvarOf[nc]
+				s.occXor[nv] = append(s.occXor[nv], xi)
+				i++ // drop xi from v's occurrence list
+				continue
+			}
+			par = bits.OnesCount64(b&s.xTrue[off])&1 == 1
+		} else {
+			moved := false
+			otherW := otherCol>>6 - off
+			assigned := s.xAssigned[off:]
+			for w, b := range x.bits {
+				cand := b &^ assigned[w]
+				if w == otherW {
+					cand &^= 1 << uint(otherCol&63)
+				}
+				if cand != 0 {
+					nc := (off+w)<<6 | bits.TrailingZeros64(cand)
+					x.w[wi] = nc
+					nv := s.xvarOf[nc]
+					s.occXor[nv] = append(s.occXor[nv], xi)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				i++ // drop xi from v's occurrence list
+				continue
+			}
+			// No replacement: every variable except possibly `other` is
+			// assigned. One popcount fold gives the parity of the
+			// assigned variables (level-0 ones included — they stay in
+			// packed rows).
+			trueMask := s.xTrue[off:]
+			ones := 0
+			for w, b := range x.bits {
+				ones += bits.OnesCount64(b & trueMask[w])
+			}
+			par = ones&1 == 1
+		}
+		occ[j] = xi
+		j++
+		i++
+		other := s.xvarOf[otherCol]
+		if s.valueVar(other) == lUndef {
+			s.stats.XORProps++
+			need := x.rhs != par
+			if x.sel != 0 {
+				if s.decisionLevel() == 0 {
+					// A removable XOR is writing to the permanent trail;
+					// the level-0 state no longer follows from the base
+					// formula alone. Sound until the row is released.
+					s.taintL0 = true
+				} else if other == x.sel && need {
+					// The row is absorbing its own guard (guard = true,
+					// the deactivating polarity); see the scalar engine.
+					s.taintL0 = true
+				}
+			}
+			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{xor: xi + 1})
+		} else if par != x.rhs {
+			// `other` is assigned too, so par covers the whole row.
+			return s.xorConflict(occ, j, i, v, xi)
+		}
+	}
+	s.occXor[v] = occ[:j]
+	return nil
+}
+
+// propagateXORsScalar is the legacy sparse engine (Config.ScalarXOR):
+// per-variable scans over []cnf.Var rows. Kept as the reference
+// implementation the packed engine is differentially tested against.
+func (s *Solver) propagateXORsScalar(v cnf.Var) *clause {
 	occ := s.occXor[v]
 	i, j := 0, 0
 	for i < len(occ) {
@@ -195,6 +307,29 @@ func (s *Solver) xorFalseClause(buf []cnf.Lit, xi int32, skip cnf.Var) []cnf.Lit
 	x := &s.xors[xi]
 	if skip != 0 {
 		buf = append(buf, cnf.MkLit(skip, s.valueVar(skip) == lFalse))
+	}
+	if x.bits != nil {
+		// Packed row: iterate set columns. Variables fixed at level 0 may
+		// appear (packed rows keep them); they render as false literals
+		// that conflict analysis skips by level. Every row variable
+		// except `skip` is assigned here (the row just conflicted or
+		// implied), so polarities come straight from the xTrue mask word
+		// instead of a random-access value lookup per literal.
+		off := int(x.off)
+		for w, b := range x.bits {
+			tw := s.xTrue[off+w]
+			for b != 0 {
+				k := b & (-b)
+				c := (off+w)<<6 | bits.TrailingZeros64(b)
+				b &^= k
+				xv := s.xvarOf[c]
+				if xv == skip {
+					continue
+				}
+				buf = append(buf, cnf.MkLit(xv, tw&k != 0))
+			}
+		}
+		return buf
 	}
 	for _, xv := range x.vars {
 		if xv == skip {

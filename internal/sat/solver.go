@@ -1,7 +1,11 @@
 package sat
 
 import (
+	mbits "math/bits"
+	"sort"
+
 	"unigen/internal/cnf"
+	"unigen/internal/gf2"
 	"unigen/internal/randx"
 )
 
@@ -20,6 +24,20 @@ type Solver struct {
 
 	xors   []xorClause
 	occXor [][]int32 // per var: indices of xors currently watching it
+
+	// Packed XOR engine state: a dense GF(2) column space owned by the
+	// solver. Columns are assigned to variables on first appearance in
+	// an XOR row (sampling-set variables first in a session, selector
+	// columns appended) and selector columns are recycled on Release so
+	// the space stays O(|S| + m). The two masks mirror the trail
+	// restricted to columned variables, maintained by uncheckedEnqueue
+	// and cancelUntil, and make parity folding and watch selection
+	// word-parallel.
+	xcolOf    []int32   // per var: XOR column, or -1
+	xvarOf    []cnf.Var // per column: the variable
+	xfreeCols []int32   // recycled selector columns
+	xAssigned []uint64  // per column bit: variable currently assigned
+	xTrue     []uint64  // per column bit: variable assigned true
 
 	assigns  []lbool   // per var
 	level    []int     // per var
@@ -94,7 +112,14 @@ func New(f *cnf.Formula, cfg Config) *Solver {
 	}
 	xs := f.XORs
 	if cfg.GaussJordan && len(xs) > 0 {
-		reduced, units, conflict := gaussJordan(xs)
+		if !cfg.ScalarXOR {
+			// Packed engine: eliminate and install directly on rows over
+			// the solver's own column space — no intermediate []cnf.Var
+			// materialization, cheap enough to re-run at session rebuilds.
+			s.gaussInstallPacked(xs)
+			return s
+		}
+		reduced, units, conflict := gaussReduce(xs)
 		if conflict {
 			s.ok = false
 			return s
@@ -113,6 +138,63 @@ func New(f *cnf.Formula, cfg Config) *Solver {
 		}
 	}
 	return s
+}
+
+// gaussInstallPacked packs the base XOR system over the solver's column
+// space, runs word-parallel Gauss–Jordan elimination in place, and
+// installs the reduced rows without leaving the packed representation.
+func (s *Solver) gaussInstallPacked(xs []cnf.XORClause) {
+	// Assign columns in sorted variable order, matching gaussReduce, so
+	// the two engines eliminate identical matrices and derive identical
+	// units (the differential tests compare them literally).
+	var vars []cnf.Var
+	for _, x := range xs {
+		for _, v := range x.Vars {
+			s.growTo(int(v))
+			if s.xcolOf[v] == -1 { // not columned and not already pending
+				s.xcolOf[v] = -2
+				vars = append(vars, v)
+			}
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		s.xcolOf[v] = -1
+		s.xorColumn(v)
+	}
+	ncols := len(s.xvarOf)
+	words := gf2.Words(ncols)
+	rows := make([]gf2.Row, len(xs))
+	for i, x := range xs {
+		r := gf2.Row{Bits: make([]uint64, words), RHS: x.RHS}
+		for _, v := range x.Vars {
+			r.Flip(int(s.xcolOf[v]))
+		}
+		rows[i] = r
+	}
+	if gf2.GaussJordan(rows, ncols) {
+		s.ok = false
+		return
+	}
+	// Units first (their pivot variables occur in no other row after
+	// Jordan reduction), then the surviving rows; installPackedXOR folds
+	// any propagation-assigned variables via the masks.
+	for i := range rows {
+		if rows[i].Len() == 1 {
+			s.stats.GaussUnits++
+			v := s.xvarOf[rows[i].FirstSet()]
+			if !s.addUnit(cnf.MkLit(v, !rows[i].RHS)) {
+				return
+			}
+		}
+	}
+	for i := range rows {
+		if rows[i].Len() >= 2 {
+			if !s.installPackedXOR(rows[i].Bits, rows[i].RHS, nil, 0) {
+				return
+			}
+		}
+	}
 }
 
 // growTo extends all per-variable and per-literal arrays to cover n vars.
@@ -142,6 +224,9 @@ func (s *Solver) growTo(n int) {
 	}
 	for len(s.occXor) <= n {
 		s.occXor = append(s.occXor, nil)
+	}
+	for len(s.xcolOf) <= n {
+		s.xcolOf = append(s.xcolOf, -1)
 	}
 	for len(s.watches) <= 2*n+1 {
 		s.watches = append(s.watches, nil)
@@ -287,6 +372,9 @@ func (s *Solver) AddXOR(vars []cnf.Var, rhs bool) bool {
 	for _, v := range norm {
 		s.growTo(int(v))
 	}
+	if !s.cfg.ScalarXOR {
+		return s.installPackedXOR(s.packXORRow(norm), nrhs, nil, 0)
+	}
 	out := make([]cnf.Var, 0, len(norm))
 	for _, v := range norm {
 		switch s.valueVar(v) {
@@ -307,11 +395,207 @@ func (s *Solver) AddXOR(vars []cnf.Var, rhs bool) bool {
 		return s.addUnit(cnf.MkLit(out[0], !nrhs))
 	}
 	x := xorClause{vars: out, rhs: nrhs, w: [2]int{0, 1}}
-	idx := int32(len(s.xors))
-	s.xors = append(s.xors, x)
-	s.occXor[out[0]] = append(s.occXor[out[0]], idx)
-	s.occXor[out[1]] = append(s.occXor[out[1]], idx)
+	s.pushXorClause(x, out[0], out[1])
 	return true
+}
+
+// pushXorClause appends (or slot-reuses) an XOR clause and registers it
+// in the occurrence lists of its two watched variables.
+func (s *Solver) pushXorClause(x xorClause, w0, w1 cnf.Var) int32 {
+	var idx int32
+	if n := len(s.freeXors); n > 0 {
+		idx = s.freeXors[n-1]
+		s.freeXors = s.freeXors[:n-1]
+		s.xors[idx] = x
+	} else {
+		idx = int32(len(s.xors))
+		s.xors = append(s.xors, x)
+	}
+	s.occXor[w0] = append(s.occXor[w0], idx)
+	s.occXor[w1] = append(s.occXor[w1], idx)
+	return idx
+}
+
+// packXORRow assigns packed-engine columns to the (normalized) variable
+// list and packs it into a full-width row over the current column
+// space. Shared by AddXOR and AddXORRemovable.
+func (s *Solver) packXORRow(norm []cnf.Var) []uint64 {
+	for _, v := range norm {
+		s.growTo(int(v))
+		s.xorColumn(v)
+	}
+	bits := make([]uint64, gf2.Words(len(s.xvarOf)))
+	for _, v := range norm {
+		c := s.xcolOf[v]
+		bits[c>>6] |= 1 << uint(c&63)
+	}
+	return bits
+}
+
+// xorWatchVar returns the variable at watch position k of x, under
+// either row representation.
+func (s *Solver) xorWatchVar(x *xorClause, k int) cnf.Var {
+	if x.bits != nil {
+		return s.xvarOf[x.w[k]]
+	}
+	return x.vars[x.w[k]]
+}
+
+// xorColumn returns variable v's column in the packed GF(2) space,
+// assigning the next free one on first use. A variable that already
+// carries an assignment when it gets its column is entered into the
+// masks immediately (rows keep level-0-assigned variables; the masks
+// fold them into parities).
+func (s *Solver) xorColumn(v cnf.Var) int {
+	if c := s.xcolOf[v]; c >= 0 {
+		return int(c)
+	}
+	var c int32
+	if n := len(s.xfreeCols); n > 0 {
+		c = s.xfreeCols[n-1]
+		s.xfreeCols = s.xfreeCols[:n-1]
+		s.xvarOf[c] = v
+	} else {
+		c = int32(len(s.xvarOf))
+		s.xvarOf = append(s.xvarOf, v)
+		for len(s.xAssigned)*64 < len(s.xvarOf) {
+			s.xAssigned = append(s.xAssigned, 0)
+			s.xTrue = append(s.xTrue, 0)
+		}
+	}
+	s.xcolOf[v] = c
+	if s.assigns[v] != lUndef {
+		s.xAssigned[c>>6] |= 1 << uint(c&63)
+		if s.assigns[v] == lTrue {
+			s.xTrue[c>>6] |= 1 << uint(c&63)
+		}
+	}
+	return int(c)
+}
+
+// freeXorColumn recycles a released selector's column. Formula-variable
+// columns are never freed: the sampling set is stable for a session's
+// lifetime, so the column space stays O(|S| + live selectors).
+func (s *Solver) freeXorColumn(v cnf.Var) {
+	c := s.xcolOf[v]
+	if c < 0 {
+		return
+	}
+	s.xcolOf[v] = -1
+	s.xvarOf[c] = 0
+	s.xAssigned[c>>6] &^= 1 << uint(c&63)
+	s.xTrue[c>>6] &^= 1 << uint(c&63)
+	s.xfreeCols = append(s.xfreeCols, c)
+}
+
+// XORColumns assigns (or looks up) packed-engine columns for vars in
+// order and returns the mapping vars-index → solver column. A nil
+// return means the mapping is the identity — the common case when the
+// sampling set is registered before any selector, which lets callers
+// install drawn hash rows by word copy (see AddPackedXORRemovable).
+// Packed engine only.
+func (s *Solver) XORColumns(vars []cnf.Var) []int32 {
+	if s.cfg.ScalarXOR {
+		panic("sat: XORColumns requires the packed XOR engine")
+	}
+	out := make([]int32, len(vars))
+	ident := true
+	for i, v := range vars {
+		s.growTo(int(v))
+		c := s.xorColumn(v)
+		out[i] = int32(c)
+		if c != i {
+			ident = false
+		}
+	}
+	if ident {
+		return nil
+	}
+	return out
+}
+
+// installPackedXOR installs ⊕{variables of the set columns} = rhs at
+// level 0. bits spans the solver's column space at call time and is
+// owned by the solver afterwards. Variables already assigned (at level
+// 0) stay in the row — the masks account for them — so no filtering
+// pass or re-normalization happens. selp/selCol describe the guard of a
+// removable row (nil for permanent rows; the selector bit is added here
+// only if a row is actually installed). Returns false when the solver
+// became UNSAT, which only permanent rows can cause.
+func (s *Solver) installPackedXOR(bits []uint64, rhs bool, selp *Selector, selCol int) bool {
+	unassigned := 0
+	c1, c2 := -1, -1
+	ones := 0
+	for w, b := range bits {
+		ones += mbits.OnesCount64(b & s.xTrue[w])
+		cand := b &^ s.xAssigned[w]
+		unassigned += mbits.OnesCount64(cand)
+		for cand != 0 && c2 < 0 {
+			c := w<<6 | mbits.TrailingZeros64(cand)
+			cand &= cand - 1
+			if c1 < 0 {
+				c1 = c
+			} else {
+				c2 = c
+			}
+		}
+	}
+	par := ones&1 == 1
+	if selp != nil {
+		if unassigned == 0 {
+			if par != rhs {
+				// 0 = 1 under the top-level assignment: activating must
+				// give Unsat, which fixing the guard achieves via the
+				// assumption check in search.
+				s.addUnit(selp.act.Not())
+			}
+			return true
+		}
+		bits[selCol>>6] |= 1 << uint(selCol&63)
+		win, off := windowRow(bits)
+		x := xorClause{bits: win, off: off, rhs: rhs, w: [2]int{selCol, c1}, sel: selp.act.Var()}
+		idx := s.pushXorClause(x, selp.act.Var(), s.xvarOf[c1])
+		selp.xors = append(selp.xors, idx)
+		return true
+	}
+	switch unassigned {
+	case 0:
+		if par != rhs {
+			s.ok = false
+			return false
+		}
+		return true
+	case 1:
+		need := rhs != par
+		return s.addUnit(cnf.MkLit(s.xvarOf[c1], !need))
+	}
+	win, off := windowRow(bits)
+	x := xorClause{bits: win, off: off, rhs: rhs, w: [2]int{c1, c2}}
+	s.pushXorClause(x, s.xvarOf[c1], s.xvarOf[c2])
+	return true
+}
+
+// windowRow trims a full-width row to its covering word span, returning
+// the windowed words (copied, so the full-width scratch is not pinned
+// for the clause's lifetime) and the global word offset of the first
+// one. Propagation cost and retained memory are then proportional to
+// the row's own footprint, not the full column space — the difference
+// between a 5-variable Tseitin parity and a matrix-wide scan on
+// formulas with thousands of XOR columns.
+func windowRow(bits []uint64) ([]uint64, int32) {
+	lo, hi := -1, 0
+	for w, b := range bits {
+		if b != 0 {
+			if lo < 0 {
+				lo = w
+			}
+			hi = w
+		}
+	}
+	if lo < 0 {
+		return nil, 0 // callers never install empty rows, but stay safe
+	}
+	return append([]uint64(nil), bits[lo:hi+1]...), int32(lo)
 }
 
 func (s *Solver) attach(cl *clause) {
@@ -325,6 +609,13 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
 	s.assigns[v] = boolToLbool(!l.Neg())
 	s.level[v] = s.decisionLevel()
 	s.reasons[v] = from
+	if c := s.xcolOf[v]; c >= 0 {
+		// Mirror the assignment into the packed XOR masks.
+		s.xAssigned[c>>6] |= 1 << uint(c&63)
+		if !l.Neg() {
+			s.xTrue[c>>6] |= 1 << uint(c&63)
+		}
+	}
 	if from.cl != nil && len(s.trailLim) == 0 {
 		// Level-0 implications are permanent; CollectGarbage must not
 		// delete their reason clauses, and scanning the (unboundedly
@@ -344,6 +635,10 @@ func (s *Solver) cancelUntil(lvl int) {
 		s.phase[v] = !l.Neg()
 		s.assigns[v] = lUndef
 		s.reasons[v] = reason{}
+		if c := s.xcolOf[v]; c >= 0 {
+			s.xAssigned[c>>6] &^= 1 << uint(c&63)
+			s.xTrue[c>>6] &^= 1 << uint(c&63)
+		}
 		s.insertOrder(v)
 	}
 	s.qhead = s.trailLim[lvl]

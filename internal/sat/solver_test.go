@@ -343,7 +343,7 @@ func TestGaussJordanProperties(t *testing.T) {
 			}
 			f.AddXOR(vs, rng.Bool())
 		}
-		reduced, units, conflict := gaussJordan(f.XORs)
+		reduced, units, conflict := gaussReduce(f.XORs)
 		g := cnf.New(n)
 		if conflict {
 			g.Clauses = append(g.Clauses, cnf.Clause{})

@@ -232,11 +232,15 @@ func (s *Sampler) SampleNContext(ctx context.Context, n int) ([]Witness, error) 
 
 // Stats reports observable sampler behaviour.
 type Stats struct {
-	Samples   int64   // successful samples
-	Failures  int64   // ⊥ rounds
-	SuccProb  float64 // Samples / (Samples+Failures)
-	AvgXORLen float64 // mean XOR-clause length issued for hashing
-	EasyCase  bool    // formula had few enough witnesses to enumerate
+	Samples      int64   // successful samples
+	Failures     int64   // ⊥ rounds
+	Rounds       int64   // sampling rounds attempted (Samples + Failures)
+	BSATCalls    int64   // bounded-enumeration solver calls issued
+	XORRows      int64   // hash XOR rows issued
+	Propagations int64   // solver propagations across the sampling BSAT calls
+	SuccProb     float64 // Samples / (Samples+Failures)
+	AvgXORLen    float64 // mean XOR-clause length issued for hashing
+	EasyCase     bool    // formula had few enough witnesses to enumerate
 }
 
 // Stats returns a snapshot. With Workers > 1 it is the merged view
@@ -249,11 +253,15 @@ func (s *Sampler) Stats() Stats {
 		st = s.inner.Stats()
 	}
 	return Stats{
-		Samples:   st.Samples,
-		Failures:  st.Failures,
-		SuccProb:  st.SuccessProb(),
-		AvgXORLen: st.AvgXORLen(),
-		EasyCase:  st.EasyCase,
+		Samples:      st.Samples,
+		Failures:     st.Failures,
+		Rounds:       st.Rounds(),
+		BSATCalls:    st.BSATCalls,
+		XORRows:      st.XORRows,
+		Propagations: st.Propagations,
+		SuccProb:     st.SuccessProb(),
+		AvgXORLen:    st.AvgXORLen(),
+		EasyCase:     st.EasyCase,
 	}
 }
 

@@ -85,6 +85,8 @@ func main() {
 			st.Rounds, st.Samples, st.Failures, st.BSATCalls)
 		fmt.Fprintf(os.Stderr, "c xor-rows=%d propagations=%d\n",
 			st.XORRows, st.Propagations)
+		fmt.Fprintf(os.Stderr, "c learned=%d removed=%d gc-compactions=%d arena-bytes=%d\n",
+			st.Learned, st.Removed, st.Compactions, st.ArenaBytes)
 	}
 }
 

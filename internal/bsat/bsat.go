@@ -134,20 +134,23 @@ func (se *Session) rebuild() {
 // retire releases the previous call's removable constraints — or
 // rebuilds the solver outright when its level-0 state may depend on a
 // removable XOR (see sat.Solver.Tainted) or when selector variables
-// have accumulated past the rebuild threshold.
-func (se *Session) retire() {
+// have accumulated past the rebuild threshold. Reports whether the
+// solver was rebuilt (its stats restart from zero).
+func (se *Session) retire() bool {
 	if se.s.Tainted() || se.selCount >= rebuildEvery {
 		se.rebuild()
-		return
+		return true
 	}
 	for _, sel := range se.retired {
 		se.s.Release(sel)
 	}
 	se.retired = se.retired[:0]
 	// Learned clauses guarded by the released selectors are now
-	// permanently satisfied; reclaim them so propagation does not keep
-	// visiting dead weight for the rest of the session.
+	// permanently satisfied; reclaim them (and compact the arena when
+	// waste has built up) so propagation does not keep visiting dead
+	// weight for the rest of the session.
 	se.s.CollectGarbage()
+	return false
 }
 
 // Enumerate returns up to n witnesses of f ∧ h, pairwise distinct on the
@@ -156,10 +159,12 @@ func (se *Session) retire() {
 // released first, so consecutive calls reuse all accumulated solver
 // state. h may be nil (enumeration of f itself).
 func (se *Session) Enumerate(n int, h *hashfam.Hash) Result {
-	se.retire()
+	before := se.s.Stats()
+	if se.retire() {
+		before = se.s.Stats() // rebuilt solver: stats restarted from zero
+	}
 	sels := se.retired[:0]
 	acts := se.assumps[:0]
-	before := se.s.Stats()
 	emptyCell := false
 	if h != nil {
 		var cols []int32
@@ -257,6 +262,8 @@ func statsDelta(after, before sat.Stats) sat.Stats {
 		RemovedDB:    after.RemovedDB - before.RemovedDB,
 		XORProps:     after.XORProps - before.XORProps,
 		GaussUnits:   after.GaussUnits - before.GaussUnits,
+		Compactions:  after.Compactions - before.Compactions,
+		ArenaBytes:   after.ArenaBytes, // gauge: report the current footprint, not a delta
 	}
 }
 

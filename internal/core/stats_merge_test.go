@@ -9,13 +9,18 @@ import (
 
 func TestStatsMerge(t *testing.T) {
 	setup := Stats{BSATCalls: 1, SetupRounds: 15, Q: 7}
-	w1 := Stats{Samples: 3, Failures: 1, BSATCalls: 14, XORRows: 80, XORLenSum: 400, Propagations: 1000}
-	w2 := Stats{Samples: 2, Failures: 2, BSATCalls: 12, XORRows: 64, XORLenSum: 320, Propagations: 500}
+	w1 := Stats{Samples: 3, Failures: 1, BSATCalls: 14, XORRows: 80, XORLenSum: 400, Propagations: 1000,
+		Learned: 50, Removed: 10, Compactions: 2, ArenaBytes: 4096}
+	w2 := Stats{Samples: 2, Failures: 2, BSATCalls: 12, XORRows: 64, XORLenSum: 320, Propagations: 500,
+		Learned: 30, Removed: 5, Compactions: 1, ArenaBytes: 8192}
 
 	got := setup.Merge(w1).Merge(w2)
 	want := Stats{
 		Samples: 5, Failures: 3, BSATCalls: 27,
 		XORRows: 144, XORLenSum: 720, Propagations: 1500,
+		// Counters add; the ArenaBytes gauge takes the max across
+		// contributing sessions.
+		Learned: 80, Removed: 15, Compactions: 3, ArenaBytes: 8192,
 		SetupRounds: 15, Q: 7,
 	}
 	if !reflect.DeepEqual(got, want) {

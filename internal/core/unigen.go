@@ -64,16 +64,28 @@ type Stats struct {
 	// excluded from the parallel engine's stats-determinism contract —
 	// it may differ across worker counts while all other fields match.
 	Propagations int64
-	SetupRounds  int  // ApproxMC rounds during setup
-	EasyCase     bool // |R_F| ≤ hiThresh: sampling needs no hashing
-	Q            int  // the q of line 10
+	// Clause-database diagnostics, same caveat as Propagations: they
+	// describe the executing sessions' solvers, not round properties.
+	// Learned/Removed count clauses learned and reclaimed (reduceDB +
+	// session GC); Compactions counts arena GC relocation passes;
+	// ArenaBytes is a gauge — the largest clause-arena footprint any
+	// contributing session reported (Merge takes the max, which keeps
+	// it order-insensitive).
+	Learned     int64
+	Removed     int64
+	Compactions int64
+	ArenaBytes  int64
+	SetupRounds int  // ApproxMC rounds during setup
+	EasyCase    bool // |R_F| ≤ hiThresh: sampling needs no hashing
+	Q           int  // the q of line 10
 }
 
 // Merge combines two stats values: counters add, EasyCase ors, and the
-// setup-derived Q takes the maximum (it is zero in per-round deltas).
-// Merge is commutative and associative — every counter is an integer
-// (XORLenSum is an exact popcount total, not a float), so a merged
-// value is independent of merge order.
+// setup-derived Q and the ArenaBytes gauge take the maximum (Q is zero
+// in per-round deltas; ArenaBytes is a footprint, not a flow). Merge
+// is commutative and associative — every field is an integer combined
+// by + or max (XORLenSum is an exact popcount total, not a float), so
+// a merged value is independent of merge order.
 func (st Stats) Merge(o Stats) Stats {
 	st.Samples += o.Samples
 	st.Failures += o.Failures
@@ -81,12 +93,25 @@ func (st Stats) Merge(o Stats) Stats {
 	st.XORRows += o.XORRows
 	st.XORLenSum += o.XORLenSum
 	st.Propagations += o.Propagations
+	st.Learned += o.Learned
+	st.Removed += o.Removed
+	st.Compactions += o.Compactions
+	st.ArenaBytes = max(st.ArenaBytes, o.ArenaBytes)
 	st.SetupRounds += o.SetupRounds
 	st.EasyCase = st.EasyCase || o.EasyCase
 	if o.Q > st.Q {
 		st.Q = o.Q
 	}
 	return st
+}
+
+// addSolverStats folds one BSAT call's solver-stats delta into st.
+func (st *Stats) addSolverStats(d sat.Stats) {
+	st.Propagations += d.Propagations
+	st.Learned += d.Learned
+	st.Removed += d.RemovedDB
+	st.Compactions += d.Compactions
+	st.ArenaBytes = max(st.ArenaBytes, d.ArenaBytes)
 }
 
 // AvgXORLen returns the mean XOR-clause length, the "Avg XOR len"
@@ -164,7 +189,7 @@ func NewSetup(f *cnf.Formula, rng *randx.RNG, opts Options) (*Setup, error) {
 		return nil, fmt.Errorf("%w (easy-case enumeration)", ErrBudget)
 	}
 	su.base.BSATCalls++
-	su.base.Propagations += res.Stats.Propagations
+	su.base.addSolverStats(res.Stats)
 	if len(res.Witnesses) <= kp.HiThresh {
 		su.easy = res.Witnesses
 		sortWitnesses(su.easy, su.s)
@@ -318,7 +343,7 @@ func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf
 			// Line 16, on the caller's incremental session.
 			res = sess.Enumerate(kp.HiThresh+1, h)
 			st.BSATCalls++
-			st.Propagations += res.Stats.Propagations
+			st.addSolverStats(res.Stats)
 			if !res.BudgetExceeded {
 				ok = true
 				break
@@ -372,7 +397,7 @@ func (su *Setup) SampleBatchRound(sess *bsat.Session, rng *randx.RNG, st *Stats,
 		st.XORLenSum += int64(h.TotalLen())
 		res := sess.Enumerate(kp.HiThresh+1, h)
 		st.BSATCalls++
-		st.Propagations += res.Stats.Propagations
+		st.addSolverStats(res.Stats)
 		if res.BudgetExceeded {
 			return nil, ErrBudget
 		}

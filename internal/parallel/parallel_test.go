@@ -59,11 +59,16 @@ func sampleWith(t *testing.T, workers, n int) ([]string, core.Stats) {
 	return projections(t, f, ws), eng.Stats()
 }
 
-// canonStats zeroes the one field exempt from the determinism contract:
-// Propagations is a machine diagnostic that depends on each session's
-// accumulated solver state, so it legitimately varies with pool shape.
+// canonStats zeroes the fields exempt from the determinism contract:
+// the machine diagnostics (Propagations and the clause-database
+// counters/gauge) depend on each session's accumulated solver state,
+// so they legitimately vary with pool shape.
 func canonStats(st core.Stats) core.Stats {
 	st.Propagations = 0
+	st.Learned = 0
+	st.Removed = 0
+	st.Compactions = 0
+	st.ArenaBytes = 0
 	return st
 }
 

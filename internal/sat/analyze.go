@@ -5,15 +5,21 @@ import "unigen/internal/cnf"
 // analyze performs first-UIP conflict analysis, returning the learned
 // clause (asserting literal first), the backtrack level, and the LBD
 // (number of distinct decision levels in the learned clause).
-func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel, lbd int) {
+func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 	learnt = s.analyzeLearnt[:0] // scratch reused across conflicts
 	learnt = append(learnt, 0)   // placeholder for the asserting literal
 	pathC := 0
 	var p cnf.Lit
 	idx := len(s.trail) - 1
 	reasonLits := confl.lits
-	if confl.learnt {
-		s.bumpClause(confl)
+	if confl.cr != crefUndef {
+		// Arena conflict: materialize into the conflict scratch (unused
+		// in this case — XOR/binary conflicts arrive pre-materialized).
+		s.conflBuf = s.ca.appendLits(s.conflBuf[:0], confl.cr)
+		reasonLits = s.conflBuf
+		if s.ca.learnt(confl.cr) {
+			s.bumpClause(confl.cr)
+		}
 	}
 	toClear := s.analyzeSeen[:0]
 	for {
@@ -46,8 +52,8 @@ func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel, lbd int) {
 		}
 		r := s.reasons[p.Var()]
 		reasonLits = s.reasonLitsFor(p.Var())
-		if r.cl != nil && r.cl.learnt {
-			s.bumpClause(r.cl)
+		if r.tag == reasonClause && s.ca.learnt(r.ref) {
+			s.bumpClause(r.ref)
 		}
 	}
 	learnt[0] = p.Not()

@@ -41,11 +41,16 @@ import (
 // before the next call. Sessions poll Tainted and rebuild — in practice
 // this is vanishingly rare.
 
-// Selector identifies a removable group of constraints.
+// Selector identifies a removable group of constraints. Clause
+// selectors are registered with the solver until released: arena
+// compaction must be able to rewrite the CRefs of every guarded clause
+// still alive, so an unreleased selector is a GC root (and a selector
+// that is never Released pins its clauses for the solver's lifetime).
 type Selector struct {
 	act      cnf.Lit
-	cls      []*clause
+	cls      []CRef
 	xors     []int32
+	regIdx   int // index in Solver.sels; -1 when not registered (XOR selectors)
 	released bool
 }
 
@@ -67,35 +72,53 @@ func (s *Solver) Tainted() bool { return s.taintL0 }
 // selector variables accumulate.
 func (s *Solver) SetModelBound(n int) { s.modelBound = n }
 
-// CollectGarbage removes learned clauses that are permanently satisfied
-// by the top-level assignment — after a batch of Releases these are the
-// clauses guarded by the released selectors — and sweeps deleted
-// watchers out of every watch list. The sweep matters: propagation
-// drops deleted watchers only when it inspects them, and a watcher
-// whose blocker literal happens to be true is kept without inspection,
-// so released blocking clauses would otherwise pile up in the watch
-// lists of a small sampling set forever. Must be called between Solve
-// calls.
+// gcWasteDenom triggers a compaction when deleted blocks hold more
+// than 1/gcWasteDenom of the arena.
+const gcWasteDenom = 5
+
+// CollectGarbage removes learned clauses that are permanently
+// satisfied by the top-level assignment — after a batch of Releases
+// these are the clauses guarded by the released selectors — and
+// reclaims their space. When tombstones have accumulated past the
+// waste threshold this is a compacting copy: live clauses are
+// relocated to the front of a fresh store and every CRef holder
+// (watch lists, trail reasons, the clause indices, unreleased
+// selectors) is rewritten in the same pass, so the space of released
+// selector clauses is actually returned instead of lingering as
+// tombstones. Below the threshold only the dirty watch lists are
+// swept; the sweep matters because propagation drops deleted watchers
+// only when it inspects them, and a watcher whose blocker literal
+// happens to be true is kept without inspection, so released blocking
+// clauses would otherwise pile up in the watch lists of a small
+// sampling set forever. Must be called between Solve calls.
 func (s *Solver) CollectGarbage() {
 	if s.decisionLevel() != 0 {
 		return
 	}
+	// Learned clauses still acting as level-0 reasons must survive even
+	// when satisfied at level 0; mark them through the trail (which at
+	// this point holds exactly the level-0 assignments).
+	s.markTrailReasons(true)
 	w := 0
-	for _, cl := range s.learnts {
-		if s.satisfiedAtLevel0(cl) && !s.isL0Reason(cl) {
-			s.markDeleted(cl)
+	for _, cr := range s.learnts {
+		if !s.ca.marked(cr) && s.satisfiedAtLevel0(cr) {
+			s.deleteClause(cr)
 			s.stats.RemovedDB++
 			continue
 		}
-		s.learnts[w] = cl
+		s.learnts[w] = cr
 		w++
 	}
 	s.learnts = s.learnts[:w]
+	s.markTrailReasons(false)
+	if s.maybeCompact() {
+		return // compaction rewrote every watch list; nothing left to sweep
+	}
 	for _, li := range s.dirtyWatch {
 		ws := s.watches[li]
 		n := 0
 		for _, wt := range ws {
-			if !wt.cl.deleted {
+			if wt.cr == crefBin || !s.ca.deleted(wt.cr) {
 				ws[n] = wt
 				n++
 			}
@@ -105,28 +128,128 @@ func (s *Solver) CollectGarbage() {
 	s.dirtyWatch = s.dirtyWatch[:0]
 }
 
-// isL0Reason reports whether cl justifies a level-0 implication. The
-// list stays tiny (level-0 implications through clauses are rare), so a
-// linear scan beats building a set per call.
-func (s *Solver) isL0Reason(cl *clause) bool {
-	for _, r := range s.l0Reasons {
-		if r == cl {
-			return true
-		}
+// maybeCompact compacts the arena if the waste threshold is exceeded.
+// Must be called at decision level 0.
+func (s *Solver) maybeCompact() bool {
+	if s.ca.wasted == 0 || s.ca.wasted*gcWasteDenom < len(s.ca.store) {
+		return false
 	}
-	return false
+	s.compactArena()
+	return true
 }
 
-// markDeleted flags a clause as deleted and records its two watch lists
-// as dirty so CollectGarbage can purge the stale watchers without
-// sweeping the entire (selector-grown) watch table. Propagation keeps
-// skipping and dropping deleted watchers it happens to visit in the
-// meantime.
-func (s *Solver) markDeleted(cl *clause) {
-	cl.deleted = true
-	if len(cl.lits) >= 2 {
-		s.dirtyWatch = append(s.dirtyWatch, cl.lits[0].Not(), cl.lits[1].Not())
+// CompactArena forces an arena compaction immediately, regardless of
+// the waste threshold. Exposed for tests and diagnostics; sessions
+// rely on CollectGarbage's automatic trigger. Must be called at
+// decision level 0, between Solve calls.
+func (s *Solver) CompactArena() {
+	if s.decisionLevel() != 0 {
+		panic("sat: CompactArena above level 0")
 	}
+	s.compactArena()
+}
+
+// compactArena is the relocation pass: every live clause (and every
+// deleted block still referenced as a trail reason) is copied to the
+// front of a fresh store, a forwarding CRef is left in the old block
+// (mark bit + the word after the header), and all CRef holders are
+// rewritten — the problem and learnt indices, unreleased selectors'
+// clause lists, trail reasons, and every watch list. Watchers of
+// deleted clauses and inlined-binary watchers whose blocker is
+// permanently true are dropped along the way. The old store is kept
+// as the allocation target of the next compaction, so a session in
+// steady state compacts with no allocation at all.
+func (s *Solver) compactArena() {
+	from := s.ca.store
+	to := s.ca.spare[:0]
+	if need := len(from) - s.ca.wasted; cap(to) < need {
+		to = make([]uint32, 0, need)
+	}
+	wasted := 0
+	reloc := func(cr CRef) CRef {
+		h := from[cr]
+		if h&hdrMark != 0 {
+			return from[cr+1] // already forwarded
+		}
+		nc := CRef(len(to))
+		n := s.ca.blockLen(cr) // ca.store is still `from` until the swap below
+		to = append(to, from[cr:int(cr)+n]...)
+		if h&hdrDeleted != 0 {
+			wasted += n // deleted trail-reason blocks ride along
+		}
+		from[cr] = h | hdrMark
+		from[cr+1] = nc
+		return nc
+	}
+	for i, cr := range s.clauses {
+		s.clauses[i] = reloc(cr)
+	}
+	for i, cr := range s.learnts {
+		s.learnts[i] = reloc(cr)
+	}
+	for _, sel := range s.sels {
+		for i, cr := range sel.cls {
+			sel.cls[i] = reloc(cr)
+		}
+	}
+	for _, l := range s.trail {
+		if r := s.reasons[l.Var()]; r.tag == reasonClause {
+			s.reasons[l.Var()] = reason{tag: reasonClause, ref: reloc(r.ref)}
+		}
+	}
+	for li := range s.watches {
+		ws := s.watches[li]
+		// A list whose own literal is permanently false can never be
+		// traversed again (the literal would have to become true); its
+		// inlined-binary entries are dead weight. The mirror entry of a
+		// released learned binary {l, ¬a} lands exactly here: a is fixed
+		// false, so watches[a] is such a list.
+		wl := cnf.Lit(li)
+		deadList := wl != 0 && s.value(wl) == lFalse && s.level[wl.Var()] == 0
+		w := 0
+		for _, wt := range ws {
+			if wt.cr == crefBin {
+				if deadList {
+					continue
+				}
+				if blk := wt.blocker(); s.value(blk) == lTrue && s.level[blk.Var()] == 0 {
+					continue // binary clause permanently satisfied
+				}
+				ws[w] = wt
+				w++
+				continue
+			}
+			h := from[wt.cr]
+			if h&hdrDeleted != 0 {
+				continue
+			}
+			if h&hdrMark == 0 {
+				panic("sat: live watched clause missing from all GC roots")
+			}
+			wt.cr = from[wt.cr+1]
+			ws[w] = wt
+			w++
+		}
+		s.watches[li] = ws[:w]
+	}
+	s.ca.spare = from[:0]
+	s.ca.store = to
+	s.ca.wasted = wasted
+	s.dirtyWatch = s.dirtyWatch[:0]
+	s.stats.Compactions++
+}
+
+// deleteClause tombstones an arena clause and records its two watch
+// lists as dirty so CollectGarbage can purge the stale watchers
+// without sweeping the entire (selector-grown) watch table.
+// Propagation keeps skipping and dropping deleted watchers it happens
+// to visit in the meantime; the block's space is reclaimed by the next
+// compaction.
+func (s *Solver) deleteClause(cr CRef) {
+	b := s.ca.litBase(cr)
+	s.dirtyWatch = append(s.dirtyWatch,
+		cnf.Lit(s.ca.store[b]).Not(), cnf.Lit(s.ca.store[b+1]).Not())
+	s.ca.del(cr)
 }
 
 // newSelectorVar allocates a fresh variable of the given selector kind,
@@ -148,7 +271,9 @@ func (s *Solver) NewClauseSelector() *Selector {
 	if s.decisionLevel() != 0 {
 		panic("sat: NewClauseSelector above level 0")
 	}
-	return &Selector{act: cnf.MkLit(s.newSelectorVar(selClause), false)}
+	sel := &Selector{act: cnf.MkLit(s.newSelectorVar(selClause), false), regIdx: len(s.sels)}
+	s.sels = append(s.sels, sel)
+	return sel
 }
 
 // AddClauseRemovable adds clause c guarded by a fresh selector. The
@@ -196,9 +321,13 @@ func (s *Solver) AddClauseToSelector(sel *Selector, c cnf.Clause) {
 		return
 	}
 	out = append(out, sel.act.Not())
-	cl := &clause{lits: out}
-	sel.cls = append(sel.cls, cl)
-	s.attach(cl)
+	// Removable clauses always get arena blocks, even binary ones:
+	// Release needs an address to delete. The generic watch path
+	// handles size-2 arena clauses correctly (the replacement scan is
+	// simply empty).
+	cr := s.ca.alloc(out, false, 0, 0)
+	sel.cls = append(sel.cls, cr)
+	s.attach(cr)
 }
 
 // AddXORRemovable adds the parity constraint ⊕vars = rhs guarded by a
@@ -214,7 +343,7 @@ func (s *Solver) AddXORRemovable(vars []cnf.Var, rhs bool) *Selector {
 		return s.AddPackedXORRemovable(s.packXORRow(norm), nrhs, nil)
 	}
 	v := s.newSelectorVar(selXORGuard)
-	sel := &Selector{act: cnf.MkLit(v, true)} // active when a = false
+	sel := &Selector{act: cnf.MkLit(v, true), regIdx: -1} // active when a = false
 	if !s.ok {
 		return sel
 	}
@@ -263,7 +392,7 @@ func (s *Solver) AddPackedXORRemovable(bits []uint64, rhs bool, cols []int32) *S
 		panic("sat: AddPackedXORRemovable requires the packed XOR engine")
 	}
 	v := s.newSelectorVar(selXORGuard)
-	sel := &Selector{act: cnf.MkLit(v, true)} // active when a = false
+	sel := &Selector{act: cnf.MkLit(v, true), regIdx: -1} // active when a = false
 	if !s.ok {
 		return sel
 	}
@@ -301,10 +430,19 @@ func (s *Solver) Release(sel *Selector) {
 	}
 	sel.released = true
 	s.cancelUntil(0)
-	for _, cl := range sel.cls {
-		s.markDeleted(cl)
+	for _, cr := range sel.cls {
+		s.deleteClause(cr)
 	}
 	sel.cls = nil
+	if sel.regIdx >= 0 {
+		// Unregister from the compaction roots (swap-delete).
+		last := len(s.sels) - 1
+		s.sels[sel.regIdx] = s.sels[last]
+		s.sels[sel.regIdx].regIdx = sel.regIdx
+		s.sels[last] = nil
+		s.sels = s.sels[:last]
+		sel.regIdx = -1
+	}
 	for _, xi := range sel.xors {
 		x := &s.xors[xi]
 		if x.bits != nil {

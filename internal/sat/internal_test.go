@@ -8,38 +8,52 @@ import (
 )
 
 // TestWatchInvariant verifies the two-watched-literal invariant after a
-// burst of solving: every undeleted clause is watched on exactly its
-// first two literals, under both watch lists.
+// burst of solving: every undeleted arena clause is watched on exactly
+// its first two literals under both watch lists, and every inlined
+// binary watcher has its mirror entry (the clause {a, b} appears in
+// watches[¬a] with blocker b and in watches[¬b] with blocker a).
 func TestWatchInvariant(t *testing.T) {
 	rng := randx.New(71)
 	f := randomCNF(rng, 30, 110, 3)
 	s := New(f, Config{})
 	s.Solve()
-	count := map[*clause]int{}
+	count := map[CRef]int{}
+	bins := map[[2]cnf.Lit]int{}
 	for li := range s.watches {
 		for _, w := range s.watches[li] {
-			if w.cl.deleted {
+			l := cnf.Lit(li)
+			if w.cr == crefBin {
+				bins[[2]cnf.Lit{l.Not(), w.blocker()}]++
 				continue
 			}
-			count[w.cl]++
+			if s.ca.deleted(w.cr) {
+				continue
+			}
+			count[w.cr]++
 			// The watch list index li corresponds to literal li; the
-			// clause must be watched on lits[0] or lits[1], attached at
-			// the negation.
-			l := cnf.Lit(li)
-			if w.cl.lits[0].Not() != l && w.cl.lits[1].Not() != l {
+			// clause must be watched on lits 0 or 1, attached at the
+			// negation.
+			if s.ca.lit(w.cr, 0).Not() != l && s.ca.lit(w.cr, 1).Not() != l {
 				t.Fatalf("clause watched at %v but watch lits are %v %v",
-					l, w.cl.lits[0], w.cl.lits[1])
+					l, s.ca.lit(w.cr, 0), s.ca.lit(w.cr, 1))
 			}
 		}
 	}
-	for _, cl := range s.clauses {
-		if len(cl.lits) >= 2 && count[cl] != 2 {
-			t.Fatalf("problem clause has %d watch entries, want 2", count[cl])
+	for _, cr := range s.clauses {
+		if count[cr] != 2 {
+			t.Fatalf("problem clause has %d watch entries, want 2", count[cr])
 		}
 	}
-	for _, cl := range s.learnts {
-		if !cl.deleted && len(cl.lits) >= 2 && count[cl] != 2 {
-			t.Fatalf("learnt clause has %d watch entries, want 2", count[cl])
+	for _, cr := range s.learnts {
+		if !s.ca.deleted(cr) && count[cr] != 2 {
+			t.Fatalf("learnt clause has %d watch entries, want 2", count[cr])
+		}
+	}
+	for key, n := range bins {
+		mirror := [2]cnf.Lit{key[1], key[0]}
+		if bins[mirror] != n {
+			t.Fatalf("binary watcher %v has %d entries but mirror has %d",
+				key, n, bins[mirror])
 		}
 	}
 }

@@ -7,60 +7,86 @@ import (
 )
 
 // propagate performs unit propagation (CNF watches, then XOR watches)
-// for every literal on the trail past qhead. It returns the conflicting
-// clause, or nil. XOR conflicts are materialized into a temporary clause
-// whose literals are all false under the current assignment, so conflict
-// analysis treats CNF and XOR conflicts uniformly.
-func (s *Solver) propagate() *clause {
+// for every literal on the trail past qhead. It returns the conflict
+// (an arena CRef for long CNF clauses; materialized literals for
+// binary and XOR conflicts), or no conflict. The materialization means
+// conflict analysis treats all three sources uniformly.
+func (s *Solver) propagate() conflict {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
-		if confl := s.propagateClauses(p); confl != nil {
+		if confl := s.propagateClauses(p); !confl.none() {
 			return confl
 		}
-		if confl := s.propagateXORs(p.Var()); confl != nil {
+		if confl := s.propagateXORs(p.Var()); !confl.none() {
 			return confl
 		}
 	}
-	return nil
+	return noConflict()
 }
 
 // propagateClauses visits every clause watching ¬p after p became true.
-func (s *Solver) propagateClauses(p cnf.Lit) *clause {
+// Long clauses are walked in the arena (header check, inline literal
+// swap, watch replacement scan over contiguous words); binary clauses
+// never leave the watcher — the blocker is the whole remaining clause.
+func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 	ws := s.watches[p]
+	store := s.ca.store
 	i, j := 0, 0
 	for i < len(ws) {
 		w := ws[i]
-		if s.value(w.blocker) == lTrue {
+		blocker := w.blocker()
+		if s.value(blocker) == lTrue {
 			ws[j] = w
 			i++
 			j++
 			continue
 		}
-		cl := w.cl
-		if cl.deleted {
+		if w.cr == crefBin {
+			// Inlined binary clause {blocker, ¬p}: blocker is false or
+			// unassigned here.
+			ws[j] = w
+			i++
+			j++
+			if s.value(blocker) == lFalse {
+				for ; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				s.conflBuf = append(s.conflBuf[:0], blocker, p.Not())
+				return conflict{cr: crefUndef, lits: s.conflBuf}
+			}
+			s.uncheckedEnqueue(blocker, reason{tag: reasonBinary, ref: uint32(p.Not())})
+			continue
+		}
+		cr := w.cr
+		h := store[cr]
+		if h&hdrDeleted != 0 {
 			i++
 			continue
 		}
-		lits := cl.lits
+		base := int(cr) + 1 + int(h>>1&1)
+		size := int(h >> hdrSizeShift)
 		falseLit := p.Not()
-		if lits[0] == falseLit {
-			lits[0], lits[1] = lits[1], lits[0]
+		if cnf.Lit(store[base]) == falseLit {
+			store[base], store[base+1] = store[base+1], store[base]
 		}
-		first := lits[0]
-		if first != w.blocker && s.value(first) == lTrue {
-			ws[j] = watcher{cl: cl, blocker: first}
+		first := cnf.Lit(store[base])
+		if first != blocker && s.value(first) == lTrue {
+			ws[j] = watcher{cr: cr, blk: uint32(first)}
 			i++
 			j++
 			continue
 		}
 		found := false
-		for k := 2; k < len(lits); k++ {
-			if s.value(lits[k]) != lFalse {
-				lits[1], lits[k] = lits[k], lits[1]
-				nw := lits[1].Not()
-				s.watches[nw] = append(s.watches[nw], watcher{cl: cl, blocker: first})
+		for k := 2; k < size; k++ {
+			if lk := cnf.Lit(store[base+k]); s.value(lk) != lFalse {
+				store[base+1], store[base+k] = store[base+k], store[base+1]
+				nw := lk.Not()
+				s.watches[nw] = append(s.watches[nw], watcher{cr: cr, blk: uint32(first)})
 				found = true
 				break
 			}
@@ -70,7 +96,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) *clause {
 			continue
 		}
 		// Clause is unit or conflicting.
-		ws[j] = watcher{cl: cl, blocker: first}
+		ws[j] = watcher{cr: cr, blk: uint32(first)}
 		i++
 		j++
 		if s.value(first) == lFalse {
@@ -80,17 +106,17 @@ func (s *Solver) propagateClauses(p cnf.Lit) *clause {
 			}
 			s.watches[p] = ws[:j]
 			s.qhead = len(s.trail)
-			return cl
+			return conflict{cr: cr}
 		}
-		s.uncheckedEnqueue(first, reason{cl: cl})
+		s.uncheckedEnqueue(first, reason{tag: reasonClause, ref: cr})
 	}
 	s.watches[p] = ws[:j]
-	return nil
+	return noConflict()
 }
 
 // propagateXORs visits every XOR clause watching variable v after v was
 // assigned (either polarity: parity constraints react to both).
-func (s *Solver) propagateXORs(v cnf.Var) *clause {
+func (s *Solver) propagateXORs(v cnf.Var) conflict {
 	if !s.cfg.ScalarXOR {
 		return s.propagateXORsPacked(v)
 	}
@@ -101,7 +127,7 @@ func (s *Solver) propagateXORs(v cnf.Var) *clause {
 // a TrailingZeros64 scan over the row's coefficient words masked by the
 // unassigned columns, and the parity of the assigned variables is one
 // popcount fold against the assigned-true mask — no per-variable loop.
-func (s *Solver) propagateXORsPacked(v cnf.Var) *clause {
+func (s *Solver) propagateXORsPacked(v cnf.Var) conflict {
 	occ := s.occXor[v]
 	vcol := int(s.xcolOf[v])
 	i, j := 0, 0
@@ -185,20 +211,20 @@ func (s *Solver) propagateXORsPacked(v cnf.Var) *clause {
 					s.taintL0 = true
 				}
 			}
-			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{xor: xi + 1})
+			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{tag: reasonXOR, ref: uint32(xi)})
 		} else if par != x.rhs {
 			// `other` is assigned too, so par covers the whole row.
 			return s.xorConflict(occ, j, i, v, xi)
 		}
 	}
 	s.occXor[v] = occ[:j]
-	return nil
+	return noConflict()
 }
 
 // propagateXORsScalar is the legacy sparse engine (Config.ScalarXOR):
 // per-variable scans over []cnf.Var rows. Kept as the reference
 // implementation the packed engine is differentially tested against.
-func (s *Solver) propagateXORsScalar(v cnf.Var) *clause {
+func (s *Solver) propagateXORsScalar(v cnf.Var) conflict {
 	occ := s.occXor[v]
 	i, j := 0, 0
 	for i < len(occ) {
@@ -267,7 +293,7 @@ func (s *Solver) propagateXORsScalar(v cnf.Var) *clause {
 					s.taintL0 = true
 				}
 			}
-			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{xor: xi + 1})
+			s.uncheckedEnqueue(cnf.MkLit(other, !need), reason{tag: reasonXOR, ref: uint32(xi)})
 		case lTrue:
 			if !need {
 				return s.xorConflict(occ, j, i, v, xi)
@@ -279,20 +305,21 @@ func (s *Solver) propagateXORsScalar(v cnf.Var) *clause {
 		}
 	}
 	s.occXor[v] = occ[:j]
-	return nil
+	return noConflict()
 }
 
 // xorConflict finalizes the occurrence list compaction and returns the
-// conflicting XOR materialized as an all-false clause.
-func (s *Solver) xorConflict(occ []int32, j, i int, v cnf.Var, xi int32) *clause {
+// conflicting XOR materialized as an all-false clause in the conflict
+// scratch buffer.
+func (s *Solver) xorConflict(occ []int32, j, i int, v cnf.Var, xi int32) conflict {
 	for ; i < len(occ); i++ {
 		occ[j] = occ[i]
 		j++
 	}
 	s.occXor[v] = occ[:j]
 	s.qhead = len(s.trail)
-	s.xorConflBuf = s.xorFalseClause(s.xorConflBuf[:0], xi, 0)
-	return &clause{lits: s.xorConflBuf}
+	s.conflBuf = s.xorFalseClause(s.conflBuf[:0], xi, 0)
+	return conflict{cr: crefUndef, lits: s.conflBuf}
 }
 
 // xorFalseClause renders XOR clause xi under the current assignment as a
@@ -342,17 +369,24 @@ func (s *Solver) xorFalseClause(buf []cnf.Lit, xi int32, skip cnf.Var) []cnf.Lit
 }
 
 // reasonLitsFor returns the clause that implied variable v, with the
-// implied literal first. It must only be called for implied (non-decision)
-// variables. XOR reasons are materialized into a scratch buffer that is
-// overwritten by the next call.
+// implied literal first. It must only be called for implied
+// (non-decision) variables. Every reason kind — arena clause, inlined
+// binary, XOR row — is materialized into one scratch buffer that is
+// overwritten by the next call; conflict analysis consumes each reason
+// before requesting the next, so one buffer suffices.
 func (s *Solver) reasonLitsFor(v cnf.Var) []cnf.Lit {
 	r := s.reasons[v]
-	switch {
-	case r.cl != nil:
-		return r.cl.lits
-	case r.xor != 0:
-		s.xorReasonBuf = s.xorFalseClause(s.xorReasonBuf[:0], r.xor-1, v)
-		return s.xorReasonBuf
+	switch r.tag {
+	case reasonClause:
+		s.reasonBuf = s.ca.appendLits(s.reasonBuf[:0], r.ref)
+		return s.reasonBuf
+	case reasonBinary:
+		s.reasonBuf = append(s.reasonBuf[:0],
+			cnf.MkLit(v, s.valueVar(v) == lFalse), cnf.Lit(r.ref))
+		return s.reasonBuf
+	case reasonXOR:
+		s.reasonBuf = s.xorFalseClause(s.reasonBuf[:0], int32(r.ref), v)
+		return s.reasonBuf
 	default:
 		panic("sat: reasonLitsFor on a decision variable")
 	}

@@ -2,6 +2,7 @@ package sat
 
 import (
 	mbits "math/bits"
+	"slices"
 	"sort"
 
 	"unigen/internal/cnf"
@@ -18,8 +19,9 @@ type Solver struct {
 	numVars int
 	ok      bool // false once a top-level conflict is found
 
-	clauses []*clause // problem clauses
-	learnts []*clause // learned clauses
+	ca      arena // flat clause store; see arena.go
+	clauses []CRef      // problem clauses (binary ones live only in watchers)
+	learnts []CRef      // learned clauses of size ≥ 3
 	watches [][]watcher
 
 	xors   []xorClause
@@ -68,21 +70,23 @@ type Solver struct {
 	lbdMark       []int64
 	lbdStamp      int64
 
-	// XOR materialization scratch: one buffer for conflict clauses, one
-	// for reason lookups during analysis. They are never alive at the
-	// same time as a second instance of themselves (see xorFalseClause).
-	xorConflBuf  []cnf.Lit
-	xorReasonBuf []cnf.Lit
+	// Conflict/reason materialization scratch: one buffer for conflict
+	// clauses, one for reason lookups during analysis. Each is reused
+	// across calls; the previous content is always dead by the time the
+	// next materialization overwrites it (see reasonLitsFor).
+	conflBuf    []cnf.Lit
+	reasonBuf   []cnf.Lit
+	sortScratch []CRef // reduceDB's sort buffer, reused across reductions
 
 	// Incremental-session state (see incremental.go).
-	isSelector   []byte    // per var: selNone/selClause/selXORGuard
-	freeXors     []int32   // tombstoned xor slots available for reuse
-	taintL0      bool      // level-0 state may depend on a removable XOR
-	brokenL0     bool      // level-0 conflict under taint: Unsat until rebuilt
-	modelBound   int       // if >0, Model covers vars 1..modelBound only
-	l0Reasons    []*clause // clauses acting as reasons for level-0 implications
-	dirtyWatch   []cnf.Lit // watch lists holding deleted entries (see markDeleted)
-	allocSelKind byte      // nonzero while newSelectorVar grows the arrays
+	isSelector   []byte      // per var: selNone/selClause/selXORGuard
+	freeXors     []int32     // tombstoned xor slots available for reuse
+	taintL0      bool        // level-0 state may depend on a removable XOR
+	brokenL0     bool        // level-0 conflict under taint: Unsat until rebuilt
+	modelBound   int         // if >0, Model covers vars 1..modelBound only
+	sels         []*Selector // unreleased clause selectors (compaction rewrites their CRefs)
+	dirtyWatch   []cnf.Lit   // watch lists holding deleted entries (see deleteClause)
+	allocSelKind byte        // nonzero while newSelectorVar grows the arrays
 
 	proof        []ProofStep
 	constructing bool // true while New loads the base formula
@@ -267,8 +271,13 @@ func (s *Solver) insertOrder(v cnf.Var) {
 // NumVars returns the number of variables the solver knows about.
 func (s *Solver) NumVars() int { return s.numVars }
 
-// Stats returns cumulative statistics.
-func (s *Solver) Stats() Stats { return s.stats }
+// Stats returns cumulative statistics. ArenaBytes is a gauge sampled
+// at call time, not an accumulating counter.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.ArenaBytes = int64(len(s.ca.store)) * 4
+	return st
+}
 
 // Okay reports whether the solver is still consistent at level 0.
 func (s *Solver) Okay() bool { return s.ok }
@@ -326,10 +335,15 @@ func (s *Solver) AddClause(c cnf.Clause) bool {
 		return false
 	case 1:
 		return s.addUnit(out[0])
+	case 2:
+		// Permanent binary clauses are carried entirely by their two
+		// watchers; no arena block, no index entry.
+		s.attachBinary(out[0], out[1])
+		return true
 	}
-	cl := &clause{lits: out}
-	s.clauses = append(s.clauses, cl)
-	s.attach(cl)
+	cr := s.ca.alloc(out, false, 0, 0)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return true
 }
 
@@ -344,7 +358,7 @@ func (s *Solver) addUnit(l cnf.Lit) bool {
 		return true
 	}
 	s.uncheckedEnqueue(l, reason{})
-	if s.propagate() != nil {
+	if !s.propagate().none() {
 		s.ok = false
 		s.logLemma(nil)
 		return false
@@ -598,10 +612,18 @@ func windowRow(bits []uint64) ([]uint64, int32) {
 	return append([]uint64(nil), bits[lo:hi+1]...), int32(lo)
 }
 
-func (s *Solver) attach(cl *clause) {
-	l0, l1 := cl.lits[0], cl.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cl: cl, blocker: l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cl: cl, blocker: l0})
+func (s *Solver) attach(cr CRef) {
+	b := s.ca.litBase(cr)
+	l0, l1 := cnf.Lit(s.ca.store[b]), cnf.Lit(s.ca.store[b+1])
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr: cr, blk: uint32(l1)})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr: cr, blk: uint32(l0)})
+}
+
+// attachBinary installs a binary clause as two mutually-referencing
+// watchers; the clause has no other representation.
+func (s *Solver) attachBinary(l0, l1 cnf.Lit) {
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cr: crefBin, blk: uint32(l1)})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cr: crefBin, blk: uint32(l0)})
 }
 
 func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
@@ -615,12 +637,6 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
 		if !l.Neg() {
 			s.xTrue[c>>6] |= 1 << uint(c&63)
 		}
-	}
-	if from.cl != nil && len(s.trailLim) == 0 {
-		// Level-0 implications are permanent; CollectGarbage must not
-		// delete their reason clauses, and scanning the (unboundedly
-		// growing) level-0 trail per call would be quadratic.
-		s.l0Reasons = append(s.l0Reasons, from.cl)
 	}
 	s.trail = append(s.trail, l)
 }
@@ -710,6 +726,11 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		}
 		s.stats.Restarts++
 		s.cancelUntil(0)
+		// Restart-time housekeeping: when reduceDB tombstones have
+		// accumulated past the waste threshold, compact the arena now —
+		// long single Solve calls must not depend on the session layer's
+		// CollectGarbage to keep the store bounded.
+		s.maybeCompact()
 	}
 }
 
@@ -722,7 +743,7 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 		if propLimit >= 0 && s.stats.Propagations >= propLimit {
 			return Unknown
 		}
-		if confl != nil {
+		if !confl.none() {
 			s.stats.Conflicts++
 			localConf++
 			if s.decisionLevel() == 0 {
@@ -804,7 +825,8 @@ func (s *Solver) pickBranchLit() cnf.Lit {
 func (s *Solver) recordLearnt(learnt []cnf.Lit, lbd int) {
 	s.stats.Learned++
 	s.logLemma(learnt)
-	if len(learnt) == 1 {
+	switch len(learnt) {
+	case 1:
 		if s.isSelector[learnt[0].Var()] == selXORGuard {
 			// Fixing an XOR-guard selector at level 0 flips the guarded
 			// parity for the rest of the solver's lifetime; level-0
@@ -814,11 +836,18 @@ func (s *Solver) recordLearnt(learnt []cnf.Lit, lbd int) {
 		}
 		s.uncheckedEnqueue(learnt[0], reason{})
 		return
+	case 2:
+		// Learned binaries are inlined in their watchers, never deleted
+		// (they were exempt from reduceDB before too), and carried as a
+		// literal-payload reason.
+		s.attachBinary(learnt[0], learnt[1])
+		s.uncheckedEnqueue(learnt[0], reason{tag: reasonBinary, ref: uint32(learnt[1])})
+		return
 	}
-	cl := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true, lbd: lbd, act: s.claInc}
-	s.learnts = append(s.learnts, cl)
-	s.attach(cl)
-	s.uncheckedEnqueue(learnt[0], reason{cl: cl})
+	cr := s.ca.alloc(learnt, true, lbd, s.claInc)
+	s.learnts = append(s.learnts, cr)
+	s.attach(cr)
+	s.uncheckedEnqueue(learnt[0], reason{tag: reasonClause, ref: cr})
 }
 
 func (s *Solver) decayActivities() {
@@ -838,105 +867,103 @@ func (s *Solver) bumpVar(v cnf.Var) {
 	s.priOrder.update(v)
 }
 
-func (s *Solver) bumpClause(cl *clause) {
-	cl.act += s.claInc
-	if cl.act > 1e20 {
+func (s *Solver) bumpClause(cr CRef) {
+	ord := s.ca.store[cr+1]
+	s.ca.act[ord] += s.claInc
+	if s.ca.act[ord] > 1e20 {
 		for _, c := range s.learnts {
-			c.act *= 1e-20
+			s.ca.act[s.ca.store[c+1]] *= 1e-20
 		}
 		s.claInc *= 1e-20
 	}
 }
 
-// reduceDB removes the less useful half of the learned clauses
-// (keeping binary clauses and clauses that are current reasons).
+// reduceDB removes the less useful half of the learned clauses,
+// keeping glue clauses (LBD ≤ 2), clauses that are current reasons on
+// the trail, and — implicitly — binaries, which never enter the learnt
+// index. Locked-reason detection marks reason clauses through the
+// trail via the arena's scratch bit instead of building a per-call
+// set, so the whole pass is allocation-free in the steady state.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) == 0 {
 		return
 	}
-	ls := append([]*clause(nil), s.learnts...)
-	sortClauses(ls)
-	locked := make(map[*clause]bool, 64)
-	for _, l := range s.trail {
-		if r := s.reasons[l.Var()]; r.cl != nil {
-			locked[r.cl] = true
+	s.markTrailReasons(true)
+	ls := append(s.sortScratch[:0], s.learnts...)
+	// Worst first: higher LBD, then lower activity.
+	slices.SortFunc(ls, func(a, b CRef) int {
+		la, lb := s.ca.lbd(a), s.ca.lbd(b)
+		if la != lb {
+			return lb - la
 		}
-	}
+		aa, ab := s.ca.activity(a), s.ca.activity(b)
+		switch {
+		case aa < ab:
+			return -1
+		case aa > ab:
+			return 1
+		}
+		return 0
+	})
 	remove := len(ls) / 2
 	kept := s.learnts[:0]
-	for i, cl := range ls {
-		if !locked[cl] && (s.satisfiedAtLevel0(cl) || (i < remove && len(cl.lits) > 2)) {
-			cl.deleted = true
+	for i, cr := range ls {
+		if !s.ca.marked(cr) && (s.satisfiedAtLevel0(cr) || (i < remove && s.ca.lbd(cr) > 2)) {
+			s.deleteClause(cr)
 			s.stats.RemovedDB++
 			continue
 		}
-		kept = append(kept, cl)
+		kept = append(kept, cr)
 	}
 	s.learnts = kept
+	s.sortScratch = ls[:0]
+	s.markTrailReasons(false)
+	// Full watch sweep: up to half the learnts just died, so most lists
+	// are dirty anyway. This also clears any deletions pending from
+	// earlier Releases, so the dirty list can be reset wholesale.
 	for li := range s.watches {
 		ws := s.watches[li]
 		w := 0
 		for _, wt := range ws {
-			if !wt.cl.deleted {
+			if wt.cr == crefBin || !s.ca.deleted(wt.cr) {
 				ws[w] = wt
 				w++
 			}
 		}
 		s.watches[li] = ws[:w]
 	}
+	s.dirtyWatch = s.dirtyWatch[:0]
 	s.maxLearnts *= 1.3
+}
+
+// markTrailReasons sets (or clears) the arena scratch bit on every
+// clause currently acting as a reason for a trail assignment. Between
+// a true and a false call the trail must not change.
+func (s *Solver) markTrailReasons(on bool) {
+	for _, l := range s.trail {
+		if r := s.reasons[l.Var()]; r.tag == reasonClause {
+			if on {
+				s.ca.mark(r.ref)
+			} else {
+				s.ca.unmark(r.ref)
+			}
+		}
+	}
 }
 
 // satisfiedAtLevel0 reports whether a clause is permanently satisfied by
 // the top-level assignment. Learned clauses guarded by a released
-// selector end up in this state and are reclaimed by reduceDB.
-func (s *Solver) satisfiedAtLevel0(cl *clause) bool {
-	for _, l := range cl.lits {
+// selector end up in this state and are reclaimed by reduceDB or
+// CollectGarbage.
+func (s *Solver) satisfiedAtLevel0(cr CRef) bool {
+	b := s.ca.litBase(cr)
+	for _, w := range s.ca.store[b : b+s.ca.size(cr)] {
+		l := cnf.Lit(w)
 		if s.value(l) == lTrue && s.level[l.Var()] == 0 {
 			return true
 		}
 	}
 	return false
-}
-
-func sortClauses(ls []*clause) {
-	quickSortClauses(ls, 0, len(ls)-1)
-}
-
-func quickSortClauses(ls []*clause, lo, hi int) {
-	for lo < hi {
-		p := ls[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for clauseLess(ls[i], p) {
-				i++
-			}
-			for clauseLess(p, ls[j]) {
-				j--
-			}
-			if i <= j {
-				ls[i], ls[j] = ls[j], ls[i]
-				i++
-				j--
-			}
-		}
-		if j-lo < hi-i {
-			quickSortClauses(ls, lo, j)
-			lo = i
-		} else {
-			quickSortClauses(ls, i, hi)
-			hi = j
-		}
-	}
-}
-
-// clauseLess orders clauses so that the "worst" (deleted first) come
-// first: higher LBD first, then lower activity.
-func clauseLess(a, b *clause) bool {
-	if a.lbd != b.lbd {
-		return a.lbd > b.lbd
-	}
-	return a.act < b.act
 }
 
 // luby returns the Luby restart sequence value for index i with base y.

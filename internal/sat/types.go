@@ -100,6 +100,8 @@ type Stats struct {
 	RemovedDB    int64
 	XORProps     int64
 	GaussUnits   int64 // units derived by Gauss–Jordan preprocessing
+	Compactions  int64 // arena GC compactions (clause relocation passes)
+	ArenaBytes   int64 // current clause-arena footprint in bytes (gauge, not a counter)
 }
 
 type lbool int8
@@ -117,32 +119,48 @@ func boolToLbool(b bool) lbool {
 	return lFalse
 }
 
-// clause is the internal clause representation. lits[0] and lits[1] are
-// the watched literals.
-type clause struct {
-	lits    []cnf.Lit
-	act     float64
-	lbd     int
-	learnt  bool
-	deleted bool
-}
-
-// watcher pairs a watching clause with a blocker literal: if the blocker
-// is already true the clause is satisfied and need not be inspected.
+// watcher pairs a watching clause with a blocker literal: if the
+// blocker is already true the clause is satisfied and need not be
+// inspected. cr addresses the clause in the arena; crefBin tags an
+// inlined binary clause, whose other literal IS the blocker — binary
+// propagation then never touches the arena. Both fields are packed to
+// 32 bits so a watch list holds 8 watchers per cache line.
 type watcher struct {
-	cl      *clause
-	blocker cnf.Lit
+	cr  CRef
+	blk uint32 // cnf.Lit
 }
 
-// reason records why a variable was assigned: by a clause, by an XOR
-// clause (index into Solver.xors), or by a decision/unit (both zero
-// values).
+func (w watcher) blocker() cnf.Lit { return cnf.Lit(w.blk) }
+
+// Reason tags recorded in reason.tag.
+const (
+	reasonNone   uint8 = iota // decision or top-level unit
+	reasonClause              // ref is the CRef of an arena clause
+	reasonBinary              // ref is the other (false) literal of a binary clause
+	reasonXOR                 // ref is an index into Solver.xors
+)
+
+// reason records why a variable was assigned. The payload meaning
+// depends on the tag; clause reasons are rewritten by arena compaction
+// (the trail is one of the CRef holders GC relocates).
 type reason struct {
-	cl  *clause
-	xor int32 // index+1 into xors; 0 means "not an XOR reason"
+	ref uint32
+	tag uint8
 }
 
-func (r reason) isNone() bool { return r.cl == nil && r.xor == 0 }
+func (r reason) isNone() bool { return r.tag == reasonNone }
+
+// conflict is propagate's result: an arena clause (cr), a materialized
+// literal set (lits, for XOR and inlined-binary conflicts, living in a
+// solver scratch buffer), or neither (no conflict).
+type conflict struct {
+	cr   CRef
+	lits []cnf.Lit
+}
+
+func noConflict() conflict { return conflict{cr: crefUndef} }
+
+func (c conflict) none() bool { return c.cr == crefUndef && c.lits == nil }
 
 // xorClause is a parity constraint with two watched positions. sel is
 // nonzero for removable XOR rows: the selector variable folded into the

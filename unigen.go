@@ -238,6 +238,10 @@ type Stats struct {
 	BSATCalls    int64   // bounded-enumeration solver calls issued
 	XORRows      int64   // hash XOR rows issued
 	Propagations int64   // solver propagations across the sampling BSAT calls
+	Learned      int64   // clauses learned across the sampling BSAT calls
+	Removed      int64   // learned clauses reclaimed (reduceDB + session GC)
+	Compactions  int64   // clause-arena GC compactions across the run's sessions
+	ArenaBytes   int64   // largest clause-arena footprint any session reported
 	SuccProb     float64 // Samples / (Samples+Failures)
 	AvgXORLen    float64 // mean XOR-clause length issued for hashing
 	EasyCase     bool    // formula had few enough witnesses to enumerate
@@ -259,6 +263,10 @@ func (s *Sampler) Stats() Stats {
 		BSATCalls:    st.BSATCalls,
 		XORRows:      st.XORRows,
 		Propagations: st.Propagations,
+		Learned:      st.Learned,
+		Removed:      st.Removed,
+		Compactions:  st.Compactions,
+		ArenaBytes:   st.ArenaBytes,
 		SuccProb:     st.SuccessProb(),
 		AvgXORLen:    st.AvgXORLen(),
 		EasyCase:     st.EasyCase,

@@ -1,0 +1,77 @@
+// Command unigend is the sampling-as-a-service daemon: an HTTP JSON
+// front end over a prepared-formula cache and the parallel sampling
+// engine. Many clients hitting the same formula pay for one ApproxMC
+// setup; every later request goes straight to cheap hash-constrained
+// sampling rounds.
+//
+// Usage:
+//
+//	unigend -addr :8671 -cache 64 -j 4
+//
+// Endpoints:
+//
+//	POST /sample  {"formula": "<dimacs>", "n": 10, "seed": 1}
+//	              → {"vars": [...], "witnesses": ["0101…", ...],
+//	                 "cache_hit": true, "fingerprint": "…", "stats": {...}}
+//	POST /count   {"formula": "<dimacs>"}
+//	              → {"count": "1024", "exact": false, ...}
+//	GET  /healthz → {"ok": true}
+//	GET  /stats   → cache hit/miss/eviction counters and per-formula
+//	                request counters
+//
+// Samples for a fixed (formula, seed, n) are bit-identical to
+// unigen.Sampler.SampleN and to the embedded unigen.Service — cached or
+// cold, whatever -j executes the rounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"unigen"
+)
+
+func main() {
+	addr := flag.String("addr", ":8671", "listen address")
+	epsilon := flag.Float64("epsilon", 6, "uniformity tolerance for prepared formulas (> 1.71)")
+	cache := flag.Int("cache", 64, "max prepared formulas kept (LRU)")
+	jobs := flag.Int("j", 0, "default per-request sampling workers (0 = all CPUs)")
+	budget := flag.Int64("budget", 0, "conflict budget per SAT call (0 = unlimited)")
+	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
+	rounds := flag.Int("amc-rounds", 0, "cap ApproxMC setup rounds (0 = paper default)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: unigend [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	svc, err := unigen.NewService(unigen.ServiceOptions{
+		Epsilon:        *epsilon,
+		MaxConflicts:   *budget,
+		GaussJordan:    *gauss,
+		ApproxMCRounds: *rounds,
+		Workers:        workers,
+		CacheSize:      *cache,
+	})
+	if err != nil {
+		log.Fatalf("unigend: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("unigend listening on %s (epsilon=%g workers=%d cache=%d)", *addr, *epsilon, workers, *cache)
+	log.Fatal(srv.ListenAndServe())
+}

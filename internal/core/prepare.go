@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/big"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/sat"
+)
+
+// PrepSeed returns the canonical preparation seed for f: the leading 64
+// bits of the formula's fingerprint, computed with samplingSet
+// substituted for the formula's own sampling set when non-empty.
+//
+// Every prepared-formula path — the facade's worker-pool sampler, the
+// service cache, the daemon — seeds the NewSetup RNG this way, which
+// makes the Setup (easy-case witness list, ApproxMC estimate, q) a pure
+// function of the formula rather than of any request's sample seed.
+// That is the property the service layer's cache depends on: one cached
+// Setup serves requests with arbitrary seeds, and the samples each
+// request gets are bit-identical to what a cold Sampler run with the
+// same seed would have produced (DESIGN §8).
+func PrepSeed(f *cnf.Formula, samplingSet []cnf.Var) uint64 {
+	if len(samplingSet) > 0 {
+		// Shallow header copy: Fingerprint never mutates its input, so
+		// the clause and XOR slices can be shared.
+		f = &cnf.Formula{
+			NumVars:     f.NumVars,
+			Clauses:     f.Clauses,
+			XORs:        f.XORs,
+			SamplingSet: samplingSet,
+		}
+	}
+	return PrepSeedFromFingerprint(cnf.Fingerprint(f))
+}
+
+// PrepSeedFromFingerprint derives the preparation seed from an already
+// computed fingerprint (the service layer fingerprints once for the
+// cache key and reuses the digest here).
+func PrepSeedFromFingerprint(fp [32]byte) uint64 {
+	return binary.LittleEndian.Uint64(fp[:8])
+}
+
+// SolverConfig returns the solver configuration the setup's sessions
+// are built with (budgets, Gauss–Jordan flag, interrupt). Callers that
+// share a Setup across concurrent requests start from this and swap in
+// a private Interrupt before building sessions with NewSessionWith.
+func (su *Setup) SolverConfig() sat.Config { return su.opts.Solver }
+
+// ReleaseSpare drops the setup-phase spare session (the solver the
+// easy-case enumeration ran on, normally adopted by the first
+// NewSession call). Owners that build sessions exclusively through
+// NewSessionWith — the service cache holds Setups for their whole LRU
+// lifetime — call this once after NewSetup so each cached formula does
+// not pin a dead solver instance. Call before sharing the Setup;
+// afterwards the Setup is immutable again.
+func (su *Setup) ReleaseSpare() { su.spare = nil }
+
+// NewSessionWith builds a fresh BSAT session over the setup's formula
+// and sampling set with the given solver configuration — typically
+// SolverConfig() with a per-request Interrupt flag and budget
+// overrides. Unlike NewSession it never adopts the setup-phase spare
+// session, so it is safe to call concurrently from request handlers
+// sharing one cached Setup (the Setup itself is immutable; only
+// sessions carry mutable solver state).
+func (su *Setup) NewSessionWith(cfg sat.Config) *bsat.Session {
+	return bsat.NewSession(su.f, bsat.Options{SamplingSet: su.s, Solver: cfg})
+}
+
+// WitnessCount returns the prepared count of witnesses projected onto
+// the sampling set: the exact count when the setup took the easy-case
+// path (lines 5–7 enumerated R_F completely; exact=true, and 0 for an
+// unsatisfiable formula), otherwise the setup-time ApproxMC estimate —
+// within a factor 1.8 of |R_F↓S| with confidence 0.8, the parameters of
+// Algorithm 1 line 9. A cache-hit Count request is answered from this
+// without any solver work.
+func (su *Setup) WitnessCount() (c *big.Int, exact bool) {
+	if su.easySet {
+		return big.NewInt(int64(len(su.easy))), true
+	}
+	return new(big.Int).Set(su.est), false
+}

@@ -24,6 +24,11 @@ var ErrFailed = errors.New("unigen: sampling round failed (⊥)")
 // budget — the analogue of the paper's 20-hour overall timeout firing.
 var ErrBudget = errors.New("unigen: BSAT conflict budget exhausted")
 
+// ErrUnsat is returned when sampling a formula that has no witnesses
+// (the setup enumerates such formulas exactly, so this surfaces on the
+// first Sample call, not during setup).
+var ErrUnsat = errors.New("unigen: formula is unsatisfiable")
+
 // Options configures a Sampler.
 type Options struct {
 	// Epsilon is the uniformity tolerance; must exceed 1.71. The
@@ -321,7 +326,7 @@ func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf
 	if su.easySet {
 		// Lines 5–7: uniform choice among all witnesses.
 		if len(su.easy) == 0 {
-			return nil, errors.New("unigen: formula is unsatisfiable")
+			return nil, ErrUnsat
 		}
 		st.Samples++
 		return su.easy[rng.Intn(len(su.easy))], nil
@@ -374,7 +379,7 @@ func (su *Setup) SampleBatchRound(sess *bsat.Session, rng *randx.RNG, st *Stats,
 	}
 	if su.easySet {
 		if len(su.easy) == 0 {
-			return nil, errors.New("unigen: formula is unsatisfiable")
+			return nil, ErrUnsat
 		}
 		out := make([]cnf.Assignment, 0, k)
 		for _, idx := range rng.Perm(len(su.easy)) {

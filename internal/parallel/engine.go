@@ -46,18 +46,18 @@ type Options struct {
 	// determinism tests and as the ctx-aware single-threaded path).
 	Workers int
 	// MasterSeed roots the per-round RNG streams (see the package
-	// comment) and, salted, the setup-phase RNG.
+	// comment). The setup-phase RNG is NOT derived from it: NewEngine
+	// seeds setup from the formula fingerprint (core.PrepSeed), so the
+	// prepared state is a function of the formula alone and a cached
+	// Setup can serve any master seed (see NewEngineFromSetup).
 	MasterSeed uint64
 	// Core is forwarded to the shared core.Setup. Core.Solver.Interrupt
 	// is overwritten: the engine installs its own flag so SampleN can
 	// abort in-flight BSAT calls on context cancellation.
+	// NewEngineFromSetup ignores every Core field except the
+	// Solver.MaxConflicts / Solver.MaxPropagations budget overrides.
 	Core core.Options
 }
-
-// setupSalt decorrelates the setup-phase RNG from the round streams; it
-// matches the facade's single-threaded salt so an engine and a
-// plain sampler built from the same seed share the same setup.
-const setupSalt = 0x0dac2014
 
 // roundResult carries one finished round from a worker to the
 // collector.
@@ -82,7 +82,11 @@ type Engine struct {
 }
 
 // NewEngine runs the ApproxMC setup once and builds one solver session
-// per worker.
+// per worker. The setup RNG is seeded from the formula fingerprint
+// (core.PrepSeed), not from MasterSeed: the prepared state for a
+// formula is identical whatever seed the caller samples with, which is
+// what lets the service layer hand a cached Setup to requests with
+// arbitrary seeds and still return bit-identical samples (DESIGN §8).
 func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 	w := opts.Workers
 	if w <= 0 {
@@ -91,7 +95,7 @@ func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 	e := &Engine{seed: opts.MasterSeed, intr: new(atomic.Bool)}
 	co := opts.Core
 	co.Solver.Interrupt = e.intr
-	su, err := core.NewSetup(f, randx.New(opts.MasterSeed^setupSalt), co)
+	su, err := core.NewSetup(f, randx.New(core.PrepSeed(f, co.SamplingSet)), co)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +106,37 @@ func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 		e.sessions[i] = su.NewSession()
 	}
 	return e, nil
+}
+
+// NewEngineFromSetup builds an engine around an existing prepared Setup
+// — the service layer's cache-hit path, where the expensive ApproxMC
+// setup already ran (under the fingerprint-derived RNG NewEngine uses)
+// and only per-request sessions need constructing. The engine gets a
+// private interrupt flag, so cancelling its calls never disturbs other
+// engines sharing the Setup; sessions are built with the setup's solver
+// configuration, with opts.Core.Solver.MaxConflicts/MaxPropagations
+// overriding the budgets when non-zero (per-request budgets). Unlike
+// NewEngine the returned engine's Stats start at zero: the shared setup
+// phase is accounted once by the cache owner, not per request.
+func NewEngineFromSetup(su *core.Setup, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{setup: su, seed: opts.MasterSeed, intr: new(atomic.Bool)}
+	cfg := su.SolverConfig()
+	if mc := opts.Core.Solver.MaxConflicts; mc != 0 {
+		cfg.MaxConflicts = mc
+	}
+	if mp := opts.Core.Solver.MaxPropagations; mp != 0 {
+		cfg.MaxPropagations = mp
+	}
+	cfg.Interrupt = e.intr
+	e.sessions = make([]*bsat.Session, w)
+	for i := range e.sessions {
+		e.sessions[i] = su.NewSessionWith(cfg)
+	}
+	return e
 }
 
 // Workers returns the pool size.

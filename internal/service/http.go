@@ -1,0 +1,243 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"unigen/internal/cnf"
+	"unigen/internal/core"
+)
+
+// maxFormulaBytes bounds request bodies; a DIMACS formula bigger than
+// this is rejected with 400 before parsing.
+const maxFormulaBytes = 64 << 20
+
+// SampleHTTPRequest is the JSON body of POST /sample.
+type SampleHTTPRequest struct {
+	// Formula is DIMACS CNF text, honoring "c ind" sampling-set lines
+	// and "x" XOR-clause lines.
+	Formula string `json:"formula"`
+	N       int    `json:"n"`
+	Seed    uint64 `json:"seed"`
+	// Workers overrides the service's per-request pool size when > 0.
+	Workers int `json:"workers,omitempty"`
+	// MaxConflicts overrides the per-call conflict budget when > 0.
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+}
+
+// SampleHTTPResponse is the JSON body of a successful POST /sample.
+// Witnesses are bitstrings over Vars in order ("101…"), the exact
+// projection Sampler.SampleN would return — the encoding under which
+// the cross-transport bit-identical contract is tested.
+type SampleHTTPResponse struct {
+	Vars        []int          `json:"vars"`
+	Witnesses   []string       `json:"witnesses"`
+	CacheHit    bool           `json:"cache_hit"`
+	Fingerprint string         `json:"fingerprint"`
+	Stats       HTTPStatsBlock `json:"stats"`
+}
+
+// HTTPStatsBlock is the per-request stats subset exposed over HTTP.
+type HTTPStatsBlock struct {
+	Rounds    int64 `json:"rounds"`
+	Samples   int64 `json:"samples"`
+	Failures  int64 `json:"failures"`
+	BSATCalls int64 `json:"bsat_calls"`
+	XORRows   int64 `json:"xor_rows"`
+}
+
+// CountHTTPRequest is the JSON body of POST /count.
+type CountHTTPRequest struct {
+	Formula string `json:"formula"`
+}
+
+// CountHTTPResponse is the JSON body of a successful POST /count. Count
+// is decimal text (model counts overflow int64 routinely).
+type CountHTTPResponse struct {
+	Count       string `json:"count"`
+	Exact       bool   `json:"exact"`
+	CacheHit    bool   `json:"cache_hit"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// StatsHTTPResponse is the JSON body of GET /stats.
+type StatsHTTPResponse struct {
+	Hits      int64          `json:"hits"`
+	Misses    int64          `json:"misses"`
+	Evictions int64          `json:"evictions"`
+	Size      int            `json:"size"`
+	Capacity  int            `json:"capacity"`
+	Formulas  []FormulaStats `json:"formulas,omitempty"`
+}
+
+type errorHTTPResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP transport of the service:
+//
+//	POST /sample  {"formula": "<dimacs>", "n": 10, "seed": 1}
+//	POST /count   {"formula": "<dimacs>"}
+//	GET  /healthz
+//	GET  /stats
+//
+// Request contexts propagate into the solver: a client that disconnects
+// mid-request interrupts its in-flight SAT search.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sample", func(w http.ResponseWriter, r *http.Request) {
+		var req SampleHTTPRequest
+		if !decodeJSONPost(w, r, &req) {
+			return
+		}
+		f, ok := parseFormula(w, req.Formula)
+		if !ok {
+			return
+		}
+		res, err := s.Sample(r.Context(), SampleRequest{
+			Formula:      f,
+			N:            req.N,
+			Seed:         req.Seed,
+			Workers:      req.Workers,
+			MaxConflicts: req.MaxConflicts,
+		})
+		if err != nil {
+			writeServiceError(w, err, req.MaxConflicts > 0)
+			return
+		}
+		resp := SampleHTTPResponse{
+			Vars:        make([]int, len(res.Vars)),
+			Witnesses:   make([]string, len(res.Witnesses)),
+			CacheHit:    res.CacheHit,
+			Fingerprint: res.Fingerprint,
+			Stats: HTTPStatsBlock{
+				Rounds:    res.Stats.Rounds(),
+				Samples:   res.Stats.Samples,
+				Failures:  res.Stats.Failures,
+				BSATCalls: res.Stats.BSATCalls,
+				XORRows:   res.Stats.XORRows,
+			},
+		}
+		for i, v := range res.Vars {
+			resp.Vars[i] = int(v)
+		}
+		for i, a := range res.Witnesses {
+			resp.Witnesses[i] = bitstring(a, res.Vars)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
+		var req CountHTTPRequest
+		if !decodeJSONPost(w, r, &req) {
+			return
+		}
+		f, ok := parseFormula(w, req.Formula)
+		if !ok {
+			return
+		}
+		res, err := s.Count(r.Context(), CountRequest{Formula: f})
+		if err != nil {
+			writeServiceError(w, err, false)
+			return
+		}
+		writeJSON(w, http.StatusOK, CountHTTPResponse{
+			Count:       res.Count.String(),
+			Exact:       res.Exact,
+			CacheHit:    res.CacheHit,
+			Fingerprint: res.Fingerprint,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use GET"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use GET"})
+			return
+		}
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, StatsHTTPResponse{
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Size:      st.Size,
+			Capacity:  st.Capacity,
+			Formulas:  st.Formulas,
+		})
+	})
+	return mux
+}
+
+// bitstring renders a witness's projection onto vars as "01…" text.
+func bitstring(a cnf.Assignment, vars []cnf.Var) string {
+	var sb strings.Builder
+	sb.Grow(len(vars))
+	for _, v := range vars {
+		if a.Get(v) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func decodeJSONPost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use POST with a JSON body"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFormulaBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorHTTPResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func parseFormula(w http.ResponseWriter, text string) (*cnf.Formula, bool) {
+	f, err := cnf.ParseDIMACSString(text)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorHTTPResponse{Error: "bad formula: " + err.Error()})
+		return nil, false
+	}
+	return f, true
+}
+
+// writeServiceError maps service errors onto HTTP statuses: request
+// mistakes (invalid n, unsatisfiable formula, exhaustion of a budget
+// the request itself supplied) are the client's 422; exhaustion of the
+// server-configured budget is capacity policy, 503, as is a cancelled
+// or timed-out request context; everything else is a 500.
+func writeServiceError(w http.ResponseWriter, err error, clientBudget bool) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client disconnected or timed out; the response is moot but a
+		// status keeps middleware logs sane.
+		writeJSON(w, http.StatusServiceUnavailable, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, core.ErrBudget):
+		status := http.StatusServiceUnavailable
+		if clientBudget {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
+		writeJSON(w, http.StatusUnprocessableEntity, errorHTTPResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorHTTPResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

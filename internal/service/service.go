@@ -1,0 +1,251 @@
+// Package service is the sampling-as-a-service layer over the UniGen
+// core: a canonical formula fingerprint (normalized DIMACS → SHA-256,
+// see cnf.Fingerprint), an LRU cache of prepared formulas — the
+// once-per-formula core.Setup holding the simplified easy-case witness
+// list or the ApproxMC estimate with κ/pivot — with single-flight
+// preparation, and a request scheduler that multiplexes sample and
+// count jobs over the parallel engine with per-request seeds, budgets,
+// and context cancellation.
+//
+// The whole point of UniGen's architecture (DAC'14) is amortization:
+// one expensive estimation pass per formula, then thousands of cheap
+// hash-constrained samples. A multi-tenant service is the natural
+// industrialization of that shape — many requests hitting the same
+// formula should pay for one Setup, however they interleave.
+//
+// # Determinism across transports
+//
+// For a fixed (formula, seed, n), the witnesses returned through
+// Service.Sample (and the HTTP handler over it) are bit-identical to
+// Sampler.SampleN on a fresh facade sampler with Workers ≥ 1. Two
+// mechanisms compose to give this: preparation runs under an RNG seeded
+// from the formula fingerprint (core.PrepSeed) in every path, so a
+// cached Setup is exactly the Setup a cold run would build; and each
+// request runs round streams randx.Stream(seed, 0..) on a fresh engine
+// over that Setup, the same streams a cold run consumes (round outcomes
+// are solver-history-independent, so reused setups and fresh sessions
+// cannot diverge — see core.SampleRound). The one exemption, inherited
+// from the parallel engine's contract: runs in which conflict-budget
+// exhaustion fires may retry rounds differently.
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+
+	"unigen/internal/cnf"
+	"unigen/internal/core"
+	"unigen/internal/parallel"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// Config fixes the service-wide preparation parameters. Fields that
+// affect the prepared state (everything except Workers and CacheSize)
+// are folded into the cache key, so one Service instance never serves a
+// request from state prepared under different parameters.
+type Config struct {
+	// Epsilon is the uniformity tolerance used for every prepared
+	// formula (> 1.71; default 6, the paper's experimental setting).
+	Epsilon float64
+	// MaxConflicts / MaxPropagations bound each preparation-time and
+	// default per-request solver call (0 = unlimited).
+	MaxConflicts    int64
+	MaxPropagations int64
+	// GaussJordan enables Gauss–Jordan XOR preprocessing in the solver.
+	GaussJordan bool
+	// ApproxMCRounds caps setup-time approximate-counter iterations
+	// (0 keeps the paper's confidence parameters).
+	ApproxMCRounds int
+	// Workers is the default per-request worker-pool size (default 1).
+	Workers int
+	// CacheSize bounds the number of prepared formulas kept (LRU;
+	// default 64).
+	CacheSize int
+}
+
+// Service serves sample and count requests over a prepared-formula
+// cache. Safe for concurrent use by any number of request handlers.
+type Service struct {
+	cfg   Config
+	cache *prepCache
+}
+
+// New validates the configuration and returns an empty service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 6
+	}
+	if _, err := core.ComputeKappaPivot(cfg.Epsilon); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	return &Service{cfg: cfg, cache: newPrepCache(cfg.CacheSize)}, nil
+}
+
+// SampleRequest asks for n almost-uniform witnesses of Formula drawn
+// with the given seed.
+type SampleRequest struct {
+	Formula *cnf.Formula
+	N       int
+	Seed    uint64
+	// Workers overrides the service's per-request pool size when > 0.
+	Workers int
+	// MaxConflicts overrides the per-call conflict budget for this
+	// request's sampling rounds when > 0 (preparation always runs under
+	// the service-wide budgets, whoever triggers it).
+	MaxConflicts int64
+}
+
+// SampleResult carries the witnesses and the request's observability.
+type SampleResult struct {
+	Vars        []cnf.Var        // sampling variables, sorted
+	Witnesses   []cnf.Assignment // n witnesses (shared easy-case memory: read-only)
+	CacheHit    bool             // true when the prepared formula was already cached
+	Fingerprint string           // canonical formula fingerprint, hex
+	Stats       core.Stats       // this request's sampling rounds only (no setup share)
+}
+
+// CountRequest asks for the prepared witness count of Formula.
+type CountRequest struct {
+	Formula *cnf.Formula
+}
+
+// CountResult is the prepared count: exact when the formula's solution
+// space was small enough to enumerate at preparation time, otherwise
+// the ApproxMC estimate of Algorithm 1 line 9.
+type CountResult struct {
+	Count       *big.Int
+	Exact       bool
+	CacheHit    bool
+	Fingerprint string
+}
+
+// ErrInvalidRequest tags request-validation failures (non-positive or
+// oversized n, nil formula); transports map it to a client error.
+var ErrInvalidRequest = errors.New("service: invalid request")
+
+// maxRequestWorkers caps the per-request pool size: sessions are full
+// solver instances, and a request must not be able to allocate an
+// unbounded number of them.
+const maxRequestWorkers = 64
+
+// maxRequestSamples caps n per request (a request beyond it should be
+// split; each round is individually cancellable either way).
+const maxRequestSamples = 1 << 20
+
+// prepare fetches (or builds, single-flight) the prepared formula.
+func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool, error) {
+	if f == nil {
+		return nil, false, fmt.Errorf("%w: nil formula", ErrInvalidRequest)
+	}
+	fp := cnf.Fingerprint(f)
+	key := fmt.Sprintf("%x|eps=%g|gj=%t|mc=%d|mp=%d|amc=%d",
+		fp, s.cfg.Epsilon, s.cfg.GaussJordan, s.cfg.MaxConflicts, s.cfg.MaxPropagations, s.cfg.ApproxMCRounds)
+	return s.cache.get(ctx, key, func(intr *atomic.Bool) func() (*prepared, error) {
+		// Synchronous part, on the missing requester: clone the formula
+		// so the flight (which may outlive this request) never shares
+		// memory the caller could mutate. Hits never reach this.
+		g := f.Clone()
+		return func() (*prepared, error) {
+			su, err := core.NewSetup(g, randx.New(core.PrepSeedFromFingerprint(fp)), core.Options{
+				Epsilon: s.cfg.Epsilon,
+				Solver: sat.Config{
+					MaxConflicts:    s.cfg.MaxConflicts,
+					MaxPropagations: s.cfg.MaxPropagations,
+					GaussJordan:     s.cfg.GaussJordan,
+					// The cache raises intr when every requester has
+					// abandoned the flight; an unbudgeted preparation
+					// must not outlive all interest in it.
+					Interrupt: intr,
+				},
+				ApproxMCRounds: s.cfg.ApproxMCRounds,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// The service builds sessions exclusively through
+			// NewSessionWith; drop the setup-phase spare solver instead
+			// of pinning one dead solver per cached formula.
+			su.ReleaseSpare()
+			return &prepared{
+				setup:       su,
+				prepStats:   su.SetupStats(),
+				fingerprint: hex.EncodeToString(fp[:]),
+			}, nil
+		}
+	})
+}
+
+// Sample draws req.N almost-uniform witnesses. Cache hits skip straight
+// to sampling — no ApproxMC work happens on the hit path. Cancelling
+// ctx interrupts in-flight SAT search promptly and fails the request
+// with ctx.Err().
+func (s *Service) Sample(ctx context.Context, req SampleRequest) (*SampleResult, error) {
+	if req.N <= 0 {
+		return nil, fmt.Errorf("%w: sample count must be positive", ErrInvalidRequest)
+	}
+	if req.N > maxRequestSamples {
+		return nil, fmt.Errorf("%w: sample count %d exceeds the per-request limit %d", ErrInvalidRequest, req.N, maxRequestSamples)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prep, hit, err := s.prepare(ctx, req.Formula)
+	if err != nil {
+		return nil, err
+	}
+	prep.requests.Add(1)
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers > maxRequestWorkers {
+		workers = maxRequestWorkers
+	}
+	eng := parallel.NewEngineFromSetup(prep.setup, parallel.Options{
+		Workers:    workers,
+		MasterSeed: req.Seed,
+		Core:       core.Options{Solver: sat.Config{MaxConflicts: req.MaxConflicts}},
+	})
+	ws, err := eng.SampleN(ctx, req.N)
+	if err != nil {
+		return nil, err
+	}
+	prep.samples.Add(int64(len(ws)))
+	return &SampleResult{
+		Vars:        prep.setup.SamplingSet(),
+		Witnesses:   ws,
+		CacheHit:    hit,
+		Fingerprint: prep.fingerprint,
+		Stats:       eng.Stats(),
+	}, nil
+}
+
+// Count returns the prepared witness count. On a hit this is a pure
+// cache lookup — no solver call at all.
+func (s *Service) Count(ctx context.Context, req CountRequest) (*CountResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prep, hit, err := s.prepare(ctx, req.Formula)
+	if err != nil {
+		return nil, err
+	}
+	prep.requests.Add(1)
+	prep.counts.Add(1)
+	c, exact := prep.setup.WitnessCount()
+	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint}, nil
+}
+
+// Stats snapshots the cache and per-formula counters.
+func (s *Service) Stats() CacheStats { return s.cache.stats() }

@@ -1,0 +1,86 @@
+package simplify_test
+
+import (
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/simplify"
+)
+
+// FuzzSimplify is the differential fuzz gate for the preprocessor: on
+// tiny parseable formulas, the set of witness projections onto the
+// sampling set must be exactly preserved by simplification — units,
+// subsumption, self-subsuming resolution, XOR recovery, and (when the
+// second fuzz argument is set) bounded variable elimination, whose
+// correctness argument is precisely that it only touches non-sampling
+// variables. The oracle is brute-force enumeration over ≤ 2^8
+// assignments, independent of the simplifier and the solver.
+func FuzzSimplify(f *testing.F) {
+	f.Add("p cnf 4 3\n1 2 0\n-1 3 0\n-2 -4 0\n", true)
+	f.Add("c ind 1 2 0\np cnf 4 2\n1 -3 0\n3 4 0\n", true)
+	f.Add("p cnf 3 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 3 0\n", false)
+	f.Add("c ind 1 2 3 0\np cnf 3 0\nx1 2 3 0\n", true)
+	f.Add("p cnf 2 2\n1 0\n-1 2 0\n", true)
+	f.Fuzz(func(t *testing.T, in string, bve bool) {
+		if len(in) > 2048 {
+			return
+		}
+		fm, err := cnf.ParseDIMACSString(in)
+		if err != nil {
+			return
+		}
+		if fm.NumVars > 8 || len(fm.Clauses) > 24 || len(fm.XORs) > 8 {
+			return // keep the brute-force oracle cheap
+		}
+		// BVE's projection-preservation contract requires an explicit
+		// sampling set (eliminated variables must lie outside it); give
+		// undeclared formulas one over a prefix of their variables.
+		if fm.SamplingSet == nil && fm.NumVars > 0 {
+			k := fm.NumVars
+			if k > 4 {
+				k = 4
+			}
+			for v := 1; v <= k; v++ {
+				fm.SamplingSet = append(fm.SamplingSet, cnf.Var(v))
+			}
+		}
+		before := projectedSet(fm, fm.SamplingVars())
+		res, err := simplify.Simplify(fm, simplify.Options{BVE: bve})
+		if err != nil {
+			t.Fatalf("Simplify error on %q: %v", in, err)
+		}
+		after := projectedSet(res.F, fm.SamplingVars())
+		if len(before) != len(after) {
+			t.Fatalf("projected count changed: %d -> %d (bve=%v)\ninput: %q\nsimplified: %q",
+				len(before), len(after), bve, in, cnf.DIMACSString(res.F))
+		}
+		for key := range before {
+			if !after[key] {
+				t.Fatalf("projected witness %q lost by simplification (bve=%v)\ninput: %q", key, bve, in)
+			}
+		}
+	})
+}
+
+// projectedSet brute-forces the distinct projections of f's witnesses
+// onto vars. Simplification never grows the variable count, so
+// enumerating over f.NumVars covers both sides of the differential.
+func projectedSet(f *cnf.Formula, vars []cnf.Var) map[string]bool {
+	nv := f.NumVars
+	for _, v := range vars {
+		if int(v) > nv {
+			nv = int(v)
+		}
+	}
+	out := map[string]bool{}
+	a := cnf.NewAssignment(nv)
+	for mask := 0; mask < 1<<nv; mask++ {
+		for i := 1; i <= nv; i++ {
+			a.Set(cnf.Var(i), mask&(1<<(i-1)) != 0)
+		}
+		if a.Satisfies(f) {
+			out[a.Project(vars)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package unigen
+
+import (
+	"context"
+	"math/big"
+	"net/http"
+
+	"unigen/internal/cnf"
+	"unigen/internal/service"
+)
+
+// FormulaFingerprint returns the canonical fingerprint of f in hex: the
+// SHA-256 of its normalized DIMACS serialization. Presentation changes
+// (clause/literal order, duplicates, tautologies, sampling-set order)
+// do not change the fingerprint; semantic changes do. It is the
+// identity under which Service caches prepared formulas.
+func FormulaFingerprint(f *Formula) string { return cnf.FingerprintString(f) }
+
+// ServiceOptions configures an embedded sampling service. The zero
+// value is usable: ε = 6, one worker per request, 64 cached formulas.
+type ServiceOptions struct {
+	// Epsilon is the uniformity tolerance for every prepared formula
+	// (> 1.71; default 6).
+	Epsilon float64
+	// MaxConflicts / MaxPropagations bound each solver call during
+	// preparation and (by default) sampling (0 = unlimited).
+	MaxConflicts    int64
+	MaxPropagations int64
+	// GaussJordan enables Gauss–Jordan XOR preprocessing.
+	GaussJordan bool
+	// ApproxMCRounds caps setup-time counter iterations (benchmark
+	// knob; 0 keeps the paper's parameters).
+	ApproxMCRounds int
+	// Workers is the per-request worker-pool size (default 1).
+	Workers int
+	// CacheSize bounds the prepared-formula LRU cache (default 64).
+	CacheSize int
+}
+
+// Service is the embeddable sampling-as-a-service engine: a
+// prepared-formula cache (fingerprint-keyed, single-flight, LRU) in
+// front of the parallel sampling engine. Unlike Sampler, which is bound
+// to one formula and one goroutine, a Service accepts concurrent
+// requests for any mix of formulas; the expensive once-per-formula
+// setup (ApproxMC estimation) runs at most once per distinct formula,
+// however many requests race for it.
+//
+// Determinism: for a fixed (formula, seed, n), Sample returns witnesses
+// bit-identical to Sampler.SampleN with Workers ≥ 1 and to the HTTP
+// transport — whether the formula was cached or cold, and whatever
+// worker count executes the rounds.
+type Service struct {
+	inner *service.Service
+}
+
+// NewService validates options and returns an empty service.
+func NewService(opts ServiceOptions) (*Service, error) {
+	inner, err := service.New(service.Config{
+		Epsilon:         opts.Epsilon,
+		MaxConflicts:    opts.MaxConflicts,
+		MaxPropagations: opts.MaxPropagations,
+		GaussJordan:     opts.GaussJordan,
+		ApproxMCRounds:  opts.ApproxMCRounds,
+		Workers:         opts.Workers,
+		CacheSize:       opts.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{inner: inner}, nil
+}
+
+// Sample draws n almost-uniform witnesses of f with the given seed,
+// preparing (or reusing the cached preparation of) the formula as
+// needed. Safe for concurrent use. Cancelling ctx interrupts in-flight
+// SAT search promptly.
+func (s *Service) Sample(ctx context.Context, f *Formula, seed uint64, n int) ([]Witness, error) {
+	res, err := s.inner.Sample(ctx, service.SampleRequest{Formula: f, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Witness, len(res.Witnesses))
+	for i, a := range res.Witnesses {
+		out[i] = Witness{a: a}
+	}
+	return out, nil
+}
+
+// Count returns the prepared witness count of f projected onto its
+// sampling set: exact (second return true) when the solution space was
+// small enough to enumerate at preparation time, otherwise the ApproxMC
+// estimate of Algorithm 1 line 9. A cache hit answers without any
+// solver work.
+func (s *Service) Count(ctx context.Context, f *Formula) (*big.Int, bool, error) {
+	res, err := s.inner.Count(ctx, service.CountRequest{Formula: f})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Count, res.Exact, nil
+}
+
+// Handler returns the HTTP transport of this service (the same routes
+// cmd/unigend serves): POST /sample, POST /count, GET /healthz,
+// GET /stats.
+func (s *Service) Handler() http.Handler { return service.NewHandler(s.inner) }
+
+// ServiceStats is a snapshot of the prepared-formula cache.
+type ServiceStats struct {
+	Hits      int64 // requests that found a cached (or in-flight) preparation
+	Misses    int64 // requests that started a preparation
+	Evictions int64
+	Size      int // formulas currently cached
+	Capacity  int
+	Formulas  []ServiceFormulaStats // most recently used first
+}
+
+// ServiceFormulaStats are per-formula request counters.
+type ServiceFormulaStats struct {
+	Fingerprint string
+	EasyCase    bool // prepared by exact enumeration, no ApproxMC
+	Requests    int64
+	Samples     int64
+	Counts      int64
+}
+
+// Stats snapshots the cache and per-formula counters.
+func (s *Service) Stats() ServiceStats {
+	st := s.inner.Stats()
+	out := ServiceStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Size:      st.Size,
+		Capacity:  st.Capacity,
+	}
+	for _, f := range st.Formulas {
+		out.Formulas = append(out.Formulas, ServiceFormulaStats{
+			Fingerprint: f.Fingerprint,
+			EasyCase:    f.EasyCase,
+			Requests:    f.Requests,
+			Samples:     f.Samples,
+			Counts:      f.Counts,
+		})
+	}
+	return out
+}

@@ -36,6 +36,17 @@
 // fresh generator state), and rounds are consumed in index order. The
 // multiset of samples for a given Seed is therefore identical for any
 // worker count; only wall-clock time changes.
+//
+// # Sampling as a service
+//
+// Service (NewService) wraps the engine in a prepared-formula cache:
+// requests for any mix of formulas run concurrently, the expensive
+// once-per-formula setup runs at most once per distinct formula
+// (single-flight, keyed by the canonical fingerprint — see
+// FormulaFingerprint), and samples for a fixed (formula, seed, n) are
+// bit-identical to Sampler.SampleN whether served cold, from cache, or
+// over the cmd/unigend HTTP daemon (Service.Handler exposes the same
+// routes).
 package unigen
 
 import (
@@ -93,6 +104,9 @@ func (w Witness) Satisfies(f *Formula) bool { return w.a.Satisfies(f) }
 // ErrFailed is returned by Sample for the ⊥ outcome of Algorithm 1
 // (probability at most 0.38 per round; simply retry).
 var ErrFailed = core.ErrFailed
+
+// ErrUnsat is returned by Sample when the formula has no witnesses.
+var ErrUnsat = core.ErrUnsat
 
 // Options configures a Sampler.
 type Options struct {
@@ -158,11 +172,15 @@ func NewSampler(f *Formula, opts Options) (*Sampler, error) {
 	}
 	intr := new(atomic.Bool)
 	coreOpts.Solver.Interrupt = intr
-	rng := randx.New(opts.Seed ^ 0x0dac2014)
-	inner, err := core.NewSampler(f, rng, coreOpts)
+	// Setup runs under the fingerprint-derived RNG — the same
+	// preparation every other path (worker-pool engine, service cache,
+	// daemon) performs, so all transports agree on the prepared state.
+	// Sampling rounds then consume their own seed-rooted stream.
+	inner, err := core.NewSampler(f, randx.New(core.PrepSeed(f, opts.SamplingSet)), coreOpts)
 	if err != nil {
 		return nil, err
 	}
+	rng := randx.New(opts.Seed ^ 0x0dac2014)
 	return &Sampler{inner: inner, intr: intr, rng: rng, f: f}, nil
 }
 

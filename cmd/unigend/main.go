@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	unigend -addr :8671 -cache 64 -j 4
+//	unigend -addr :8671 -cache 64 -j 4 -max-inflight 32 -timeout 30s
 //
 // Endpoints:
 //
@@ -15,9 +15,16 @@
 //	                 "cache_hit": true, "fingerprint": "…", "stats": {...}}
 //	POST /count   {"formula": "<dimacs>"}
 //	              → {"count": "1024", "exact": false, ...}
-//	GET  /healthz → {"ok": true}
-//	GET  /stats   → cache hit/miss/eviction counters and per-formula
-//	                request counters
+//	GET  /healthz → {"ok": true, "state": "ok"|"overloaded"|"draining"}
+//	GET  /stats   → cache, admission-gate, and per-outcome counters
+//
+// Overload behavior: beyond -max-inflight admitted requests and a
+// -max-queue wait queue, work is shed with 429 and a Retry-After hint;
+// requests exceeding the -timeout server deadline stop consuming solver
+// CPU and fail with 503; bodies over -max-body get 413. SIGINT/SIGTERM
+// starts a graceful drain: the listener closes, in-flight requests get
+// up to -drain to finish, stragglers have their SAT searches
+// interrupted.
 //
 // Samples for a fixed (formula, seed, n) are bit-identical to
 // unigen.Sampler.SampleN and to the embedded unigen.Service — cached or
@@ -25,12 +32,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"unigen"
@@ -44,6 +56,14 @@ func main() {
 	budget := flag.Int64("budget", 0, "conflict budget per SAT call (0 = unlimited)")
 	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
 	rounds := flag.Int("amc-rounds", 0, "cap ApproxMC setup rounds (0 = paper default)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently admitted requests (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for admission before shedding")
+	queueWait := flag.Duration("queue-wait", 0, "max time a queued request waits for a slot (0 = 2s when gated)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max in-flight requests per tenant (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "server-side deadline per request (0 = none)")
+	prepTimeout := flag.Duration("prepare-timeout", 0, "wall-clock cap per formula preparation (0 = none)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline after SIGINT/SIGTERM")
+	maxBody := flag.Int64("max-body", 0, "max HTTP request body bytes (0 = 64 MiB)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: unigend [flags]")
@@ -55,23 +75,92 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	svc, err := unigen.NewService(unigen.ServiceOptions{
+	opts := unigen.ServiceOptions{
 		Epsilon:        *epsilon,
 		MaxConflicts:   *budget,
 		GaussJordan:    *gauss,
 		ApproxMCRounds: *rounds,
 		Workers:        workers,
 		CacheSize:      *cache,
-	})
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		TenantQuota:    *tenantQuota,
+		DefaultTimeout: *timeout,
+		PrepareTimeout: *prepTimeout,
+		MaxBodyBytes:   *maxBody,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("unigend: %v", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("unigend listening on %s (epsilon=%g workers=%d cache=%d inflight=%d)",
+		ln.Addr(), *epsilon, workers, *cache, *maxInFlight)
+	if err := run(ctx, opts, ln, *timeout, *drain); err != nil {
+		log.Fatalf("unigend: %v", err)
+	}
+	log.Printf("unigend: drained, bye")
+}
 
+// run serves on ln until ctx is cancelled (a termination signal), then
+// drains: the listener closes immediately, the service stops admitting
+// work, and both the HTTP server and the sampling service get up to
+// drainDeadline to finish in-flight requests — after which straggling
+// SAT searches are interrupted and their requests fail with 503.
+func run(ctx context.Context, opts unigen.ServiceOptions, ln net.Listener, timeout, drainDeadline time.Duration) error {
+	svc, err := unigen.NewService(opts)
+	if err != nil {
+		return err
+	}
+
+	// WriteTimeout backstops the per-request deadline: a request that
+	// somehow ignores its budget still cannot hold a connection forever.
+	// Unbudgeted servers (timeout 0) leave it off — solver calls are
+	// legitimately long.
+	writeTimeout := time.Duration(0)
+	if timeout > 0 {
+		writeTimeout = timeout + 30*time.Second
+	}
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("unigend listening on %s (epsilon=%g workers=%d cache=%d)", *addr, *epsilon, workers, *cache)
-	log.Fatal(srv.ListenAndServe())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("unigend: signal received, draining (deadline %v)", drainDeadline)
+	dctx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+
+	// Drain the two layers concurrently: Shutdown closes the listener
+	// and waits for HTTP handlers to return; Close stops admitting
+	// requests and interrupts straggling solvers at the deadline, which
+	// is what lets those handlers return.
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- svc.Close(dctx) }()
+	httpErr := srv.Shutdown(dctx)
+	svcErr := <-svcDone
+
+	// A deadline hit is a completed (if impolite) drain: stragglers were
+	// interrupted and answered 503. Only transport-level failures are
+	// real errors.
+	if svcErr != nil {
+		log.Printf("unigend: drain deadline exceeded, in-flight solvers interrupted")
+	}
+	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
+		return httpErr
+	}
+	return nil
 }

@@ -20,9 +20,11 @@
 package bsat
 
 import (
+	"errors"
 	"slices"
 
 	"unigen/internal/cnf"
+	"unigen/internal/faultpoint"
 	"unigen/internal/hashfam"
 	"unigen/internal/sat"
 )
@@ -153,12 +155,33 @@ func (se *Session) retire() bool {
 	return false
 }
 
+// interruptRaised reports whether the session's solver interrupt flag
+// is set — the predicate injected stalls poll so that chaos-test
+// "hung solver" faults still honor deadlines, cancellation, and drain.
+func (se *Session) interruptRaised() bool {
+	return se.cfg.Interrupt != nil && se.cfg.Interrupt.Load()
+}
+
 // Enumerate returns up to n witnesses of f ∧ h, pairwise distinct on the
 // sampling set. The hash rows are installed as removable XOR
 // constraints and the previous call's hash and blocking clauses are
 // released first, so consecutive calls reuse all accumulated solver
 // state. h may be nil (enumeration of f itself).
 func (se *Session) Enumerate(n int, h *hashfam.Hash) Result {
+	// Chaos injection points (inert unless a test arms them). A stalled
+	// call that the interrupt cuts short reports budget exhaustion — the
+	// same verdict an interrupted real search produces — and a spurious
+	// UNSAT reports an exhausted empty cell. Both return before touching
+	// the session, so its retire/install state is exactly as if the call
+	// never happened.
+	if err := faultpoint.FireWait(faultpoint.SolverStall, se.interruptRaised); err != nil {
+		if errors.Is(err, faultpoint.ErrInterrupted) {
+			return Result{BudgetExceeded: true}
+		}
+	}
+	if faultpoint.Fire(faultpoint.SolverUnsat) != nil {
+		return Result{Exhausted: true}
+	}
 	before := se.s.Stats()
 	if se.retire() {
 		before = se.s.Stats() // rebuilt solver: stats restarted from zero

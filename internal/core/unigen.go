@@ -10,6 +10,7 @@ import (
 	"unigen/internal/bsat"
 	"unigen/internal/cnf"
 	"unigen/internal/counter"
+	"unigen/internal/faultpoint"
 	"unigen/internal/hashfam"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
@@ -323,6 +324,7 @@ func sortWitnesses(ws []cnf.Assignment, s []cnf.Var) {
 // only from this round's RNG. This is the determinism contract the
 // parallel engine builds on.
 func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf.Assignment, error) {
+	_ = faultpoint.Fire(faultpoint.RoundPanic) // chaos: panics when armed
 	if su.easySet {
 		// Lines 5–7: uniform choice among all witnesses.
 		if len(su.easy) == 0 {

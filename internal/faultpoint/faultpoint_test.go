@@ -1,0 +1,102 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Reset()
+	if err := Fire("nope"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if err := FireWait("nope", func() bool { return true }); err != nil {
+		t.Fatalf("disarmed FireWait returned %v", err)
+	}
+	if n := Hits("nope"); n != 0 {
+		t.Fatalf("disarmed point counted %d hits", n)
+	}
+}
+
+func TestErrSkipAndCount(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", Fault{Err: boom, Skip: 1, Count: 2})
+	want := []error{nil, boom, boom, nil, nil}
+	for i, w := range want {
+		if err := Fire("p"); !errors.Is(err, w) && err != w {
+			t.Fatalf("hit %d: err %v, want %v", i, err, w)
+		}
+	}
+	if h, f := Hits("p"), Fired("p"); h != 5 || f != 2 {
+		t.Fatalf("hits=%d fired=%d, want 5/2", h, f)
+	}
+}
+
+func TestPanicFires(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Panic: "kaboom"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("armed panic point did not panic")
+		}
+	}()
+	_ = Fire("p")
+}
+
+func TestStallInterruptible(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Delay: 10 * time.Second})
+	var stop atomic.Bool
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		stop.Store(true)
+	}()
+	start := time.Now()
+	err := FireWait("p", stop.Load)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err %v, want ErrInterrupted", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("interrupted stall took %v", el)
+	}
+}
+
+func TestStallCompletesThenReturnsErr(t *testing.T) {
+	defer Reset()
+	boom := errors.New("late boom")
+	Arm("p", Fault{Delay: 5 * time.Millisecond, Err: boom})
+	if err := FireWait("p", func() bool { return false }); !errors.Is(err, boom) {
+		t.Fatalf("err %v, want %v", err, boom)
+	}
+}
+
+func TestConcurrentFireAndRearm(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Err: errors.New("x"), Count: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = Fire("p")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			Arm("q", Fault{})
+			Disarm("q")
+		}
+	}()
+	wg.Wait()
+	if f := Fired("p"); f != 100 {
+		t.Fatalf("fired %d, want exactly 100", f)
+	}
+}

@@ -28,6 +28,7 @@ package parallel
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,27 @@ import (
 	"unigen/internal/core"
 	"unigen/internal/randx"
 )
+
+// ErrRoundPanic wraps a panic recovered at a sampling-round boundary.
+// A panicking round — a solver bug, a corrupted session — fails its
+// request with this error instead of killing the process (or, in a
+// worker pool, silently deadlocking the collector). The session that
+// panicked is not reused for further rounds of the same call; the
+// request aborts, and later requests build fresh sessions.
+var ErrRoundPanic = errors.New("parallel: sampling round panicked")
+
+// runRound executes one sampling round, converting a panic into
+// ErrRoundPanic. This is the failure-isolation boundary of the engine:
+// everything below it (core, bsat, sat) may panic without taking down
+// the daemon.
+func runRound(su *core.Setup, sess *bsat.Session, rng *randx.RNG, st *core.Stats) (w cnf.Assignment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrRoundPanic, r)
+		}
+	}()
+	return su.SampleRound(sess, rng, st)
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -158,7 +180,7 @@ func (e *Engine) Sample(ctx context.Context) (cnf.Assignment, error) {
 		}
 		rng := randx.Stream(e.seed, e.next)
 		var st core.Stats
-		w, err := e.setup.SampleRound(e.sessions[0], rng, &st)
+		w, err := runRound(e.setup, e.sessions[0], rng, &st)
 		e.next++
 		e.stats = e.stats.Merge(st)
 		switch {
@@ -233,10 +255,12 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 				idx := dispenser.Add(1) - 1
 				rng := randx.Stream(e.seed, e.next+idx)
 				var st core.Stats
-				w, err := e.setup.SampleRound(sess, rng, &st)
-				if err != nil && ctx.Err() != nil {
+				w, err := runRound(e.setup, sess, rng, &st)
+				if err != nil && !errors.Is(err, ErrRoundPanic) && ctx.Err() != nil {
 					// Interrupt-induced budget errors masquerade as
-					// ErrBudget; report the cancellation instead.
+					// ErrBudget; report the cancellation instead. Panics
+					// are never masked: a crash is a crash, cancelled or
+					// not.
 					err = ctx.Err()
 				}
 				results <- roundResult{idx: idx, w: w, stats: st, err: err}

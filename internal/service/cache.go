@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -95,7 +96,7 @@ func (c *prepCache) get(ctx context.Context, key string, begin func(intr *atomic
 	if !hit {
 		run := begin(&e.intr)
 		go func() {
-			prep, err := run()
+			prep, err := runFlight(run)
 			c.mu.Lock()
 			e.prep, e.err = prep, err
 			e.ready = true
@@ -129,6 +130,22 @@ func (c *prepCache) get(ctx context.Context, key string, begin func(intr *atomic
 		c.mu.Unlock()
 		return nil, hit, ctx.Err()
 	}
+}
+
+// runFlight executes one preparation flight with panic isolation: a
+// panic inside preparation (a solver bug, an injected fault) becomes an
+// ErrPanic error. The error path of get then takes over — the flight is
+// unlinked, never cached, and every co-waiting single-flight requester
+// gets the error instead of hanging on a done channel that would never
+// close (the panic would otherwise kill the process outright: flights
+// run on their own goroutine).
+func runFlight(run func() (*prepared, error)) (prep *prepared, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			prep, err = nil, fmt.Errorf("%w: preparation panicked: %v", ErrPanic, r)
+		}
+	}()
+	return run()
 }
 
 // removeLocked unlinks e from the map and the LRU list. The map check

@@ -4,16 +4,25 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"unigen/internal/cnf"
 	"unigen/internal/core"
+	"unigen/internal/parallel"
 )
 
-// maxFormulaBytes bounds request bodies; a DIMACS formula bigger than
-// this is rejected with 400 before parsing.
-const maxFormulaBytes = 64 << 20
+// defaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is
+// unset; larger payloads are rejected with 413 before parsing.
+const defaultMaxBodyBytes = 64 << 20
+
+// TenantHeader is the HTTP header naming the requesting tenant for
+// per-tenant admission quotas (the JSON "tenant" field wins when both
+// are present).
+const TenantHeader = "X-Unigen-Tenant"
 
 // SampleHTTPRequest is the JSON body of POST /sample.
 type SampleHTTPRequest struct {
@@ -26,6 +35,12 @@ type SampleHTTPRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxConflicts overrides the per-call conflict budget when > 0.
 	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// Tenant attributes the request for per-tenant quotas (overrides
+	// the X-Unigen-Tenant header).
+	Tenant string `json:"tenant,omitempty"`
+	// TimeoutMS is the client's own deadline in milliseconds; exceeding
+	// it returns 422 (the client set the budget).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // SampleHTTPResponse is the JSON body of a successful POST /sample.
@@ -51,7 +66,9 @@ type HTTPStatsBlock struct {
 
 // CountHTTPRequest is the JSON body of POST /count.
 type CountHTTPRequest struct {
-	Formula string `json:"formula"`
+	Formula   string `json:"formula"`
+	Tenant    string `json:"tenant,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // CountHTTPResponse is the JSON body of a successful POST /count. Count
@@ -63,6 +80,14 @@ type CountHTTPResponse struct {
 	Fingerprint string `json:"fingerprint"`
 }
 
+// HealthzHTTPResponse is the JSON body of GET /healthz. OK stays true
+// while the node can accept work ("ok" and "overloaded"); "draining"
+// reports 503 with OK false so load balancers stop routing here.
+type HealthzHTTPResponse struct {
+	OK    bool        `json:"ok"`
+	State HealthState `json:"state"`
+}
+
 // StatsHTTPResponse is the JSON body of GET /stats.
 type StatsHTTPResponse struct {
 	Hits      int64          `json:"hits"`
@@ -71,6 +96,9 @@ type StatsHTTPResponse struct {
 	Size      int            `json:"size"`
 	Capacity  int            `json:"capacity"`
 	Formulas  []FormulaStats `json:"formulas,omitempty"`
+	Admission AdmissionStats `json:"admission"`
+	Outcomes  OutcomeStats   `json:"outcomes"`
+	State     HealthState    `json:"state"`
 }
 
 type errorHTTPResponse struct {
@@ -85,12 +113,14 @@ type errorHTTPResponse struct {
 //	GET  /stats
 //
 // Request contexts propagate into the solver: a client that disconnects
-// mid-request interrupts its in-flight SAT search.
+// mid-request interrupts its in-flight SAT search. Overload maps to
+// 429 (shed) and 503 (draining / server deadline) with Retry-After;
+// oversized bodies to 413; recovered panics to 500.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sample", func(w http.ResponseWriter, r *http.Request) {
 		var req SampleHTTPRequest
-		if !decodeJSONPost(w, r, &req) {
+		if !s.decodeJSONPost(w, r, &req) {
 			return
 		}
 		f, ok := parseFormula(w, req.Formula)
@@ -103,9 +133,11 @@ func NewHandler(s *Service) http.Handler {
 			Seed:         req.Seed,
 			Workers:      req.Workers,
 			MaxConflicts: req.MaxConflicts,
+			Tenant:       tenantOf(r, req.Tenant),
+			Timeout:      time.Duration(req.TimeoutMS) * time.Millisecond,
 		})
 		if err != nil {
-			writeServiceError(w, err, req.MaxConflicts > 0)
+			s.writeServiceError(w, err, req.MaxConflicts > 0)
 			return
 		}
 		resp := SampleHTTPResponse{
@@ -131,16 +163,20 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
 		var req CountHTTPRequest
-		if !decodeJSONPost(w, r, &req) {
+		if !s.decodeJSONPost(w, r, &req) {
 			return
 		}
 		f, ok := parseFormula(w, req.Formula)
 		if !ok {
 			return
 		}
-		res, err := s.Count(r.Context(), CountRequest{Formula: f})
+		res, err := s.Count(r.Context(), CountRequest{
+			Formula: f,
+			Tenant:  tenantOf(r, req.Tenant),
+			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
 		if err != nil {
-			writeServiceError(w, err, false)
+			s.writeServiceError(w, err, false)
 			return
 		}
 		writeJSON(w, http.StatusOK, CountHTTPResponse{
@@ -155,7 +191,13 @@ func NewHandler(s *Service) http.Handler {
 			writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use GET"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		state := s.Health()
+		status := http.StatusOK
+		if state == HealthDraining {
+			status = http.StatusServiceUnavailable
+			s.setRetryAfter(w)
+		}
+		writeJSON(w, status, HealthzHTTPResponse{OK: state != HealthDraining, State: state})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -170,9 +212,39 @@ func NewHandler(s *Service) http.Handler {
 			Size:      st.Size,
 			Capacity:  st.Capacity,
 			Formulas:  st.Formulas,
+			Admission: st.Admission,
+			Outcomes:  st.Outcomes,
+			State:     st.State,
 		})
 	})
-	return mux
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the transport's last-resort panic boundary: the
+// service recovers panics at request and flight boundaries itself, but
+// a crash in the handler plumbing (encoding, middleware) must still
+// produce a 500 rather than tear down the connection servers share.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Best effort: if the handler already wrote a status,
+				// this header write is a no-op and the client sees a
+				// truncated body.
+				writeJSON(w, http.StatusInternalServerError, errorHTTPResponse{Error: fmt.Sprintf("internal panic: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// tenantOf resolves the request's tenant: the JSON field, then the
+// X-Unigen-Tenant header, then the anonymous tenant "".
+func tenantOf(r *http.Request, jsonTenant string) string {
+	if jsonTenant != "" {
+		return jsonTenant
+	}
+	return r.Header.Get(TenantHeader)
 }
 
 // bitstring renders a witness's projection onto vars as "01…" text.
@@ -189,14 +261,20 @@ func bitstring(a cnf.Assignment, vars []cnf.Var) string {
 	return sb.String()
 }
 
-func decodeJSONPost(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *Service) decodeJSONPost(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use POST with a JSON body"})
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxFormulaBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorHTTPResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorHTTPResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}
@@ -212,13 +290,37 @@ func parseFormula(w http.ResponseWriter, text string) (*cnf.Formula, bool) {
 	return f, true
 }
 
+// setRetryAfter attaches the configured Retry-After hint (whole
+// seconds, minimum 1) to a shed or draining response.
+func (s *Service) setRetryAfter(w http.ResponseWriter) {
+	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
 // writeServiceError maps service errors onto HTTP statuses: request
 // mistakes (invalid n, unsatisfiable formula, exhaustion of a budget
-// the request itself supplied) are the client's 422; exhaustion of the
-// server-configured budget is capacity policy, 503, as is a cancelled
-// or timed-out request context; everything else is a 500.
-func writeServiceError(w http.ResponseWriter, err error, clientBudget bool) {
+// the request itself supplied — conflicts or timeout) are the client's
+// 422; shed load is 429 with Retry-After; draining and exhaustion of a
+// server-configured budget (deadline or conflicts) are capacity
+// policy, 503, as is a cancelled or timed-out request context;
+// recovered panics and everything else are 500.
+func (s *Service) writeServiceError(w http.ResponseWriter, err error, clientBudget bool) {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusTooManyRequests, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrDeadline):
+		writeJSON(w, http.StatusServiceUnavailable, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrClientTimeout):
+		writeJSON(w, http.StatusUnprocessableEntity, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrPanic), errors.Is(err, parallel.ErrRoundPanic):
+		writeJSON(w, http.StatusInternalServerError, errorHTTPResponse{Error: err.Error()})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Client disconnected or timed out; the response is moot but a
 		// status keeps middleware logs sane.

@@ -120,8 +120,8 @@ func TestHTTPHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	if body := decode[map[string]bool](t, resp); !body["ok"] {
-		t.Fatalf("healthz body %v", body)
+	if body := decode[service.HealthzHTTPResponse](t, resp); !body.OK || body.State != service.HealthOK {
+		t.Fatalf("healthz body %+v", body)
 	}
 }
 

@@ -13,6 +13,23 @@
 // industrialization of that shape — many requests hitting the same
 // formula should pay for one Setup, however they interleave.
 //
+// # Overload safety
+//
+// UniGen's per-request cost is heavy-tailed by construction: a single
+// hard formula can burn an unbounded number of BSAT calls. The service
+// therefore fronts the scheduler with four defensive layers (DESIGN
+// §9): admission control (a bounded concurrency gate with a short
+// bounded wait queue and per-tenant quotas, shedding excess load as
+// ErrOverloaded), deadline budgets (a server-side default request
+// timeout and a preparation wall-clock cap, both enforced through
+// solver interrupts so a request stops consuming CPU the moment its
+// deadline passes), panic isolation (recover at request and
+// preparation-flight boundaries; a panicking preparation fails its
+// waiters but is never cached), and graceful drain (Close rejects new
+// requests, waits out in-flight ones, and interrupts stragglers at the
+// deadline). All four are exercised by the chaos suite under injected
+// faults (internal/faultpoint).
+//
 // # Determinism across transports
 //
 // For a fixed (formula, seed, n), the witnesses returned through
@@ -35,19 +52,23 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"unigen/internal/cnf"
 	"unigen/internal/core"
+	"unigen/internal/faultpoint"
 	"unigen/internal/parallel"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
 )
 
 // Config fixes the service-wide preparation parameters. Fields that
-// affect the prepared state (everything except Workers and CacheSize)
-// are folded into the cache key, so one Service instance never serves a
-// request from state prepared under different parameters.
+// affect the prepared state (everything except Workers, CacheSize, and
+// the robustness knobs) are folded into the cache key, so one Service
+// instance never serves a request from state prepared under different
+// parameters.
 type Config struct {
 	// Epsilon is the uniformity tolerance used for every prepared
 	// formula (> 1.71; default 6, the paper's experimental setting).
@@ -66,6 +87,40 @@ type Config struct {
 	// CacheSize bounds the number of prepared formulas kept (LRU;
 	// default 64).
 	CacheSize int
+
+	// Admission control (DESIGN §9). Zero values keep the permissive
+	// pre-admission behavior: no gate, no queue, no quotas.
+
+	// MaxInFlight caps concurrently admitted requests (0 = unlimited).
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for a slot once all
+	// MaxInFlight are busy; everything beyond is shed immediately
+	// (0 = no queue: shed as soon as the gate is full).
+	MaxQueue int
+	// QueueWait caps how long a queued request waits for a slot before
+	// being shed (default 2s when the gate is on).
+	QueueWait time.Duration
+	// TenantQuota caps in-flight requests per tenant (0 = unlimited).
+	// Enforced even when the global gate is off.
+	TenantQuota int
+
+	// Deadline budgets (DESIGN §9).
+
+	// DefaultTimeout is the server-side deadline applied to every
+	// request (0 = none). When it fires, the request's solvers are
+	// interrupted and the request fails with ErrDeadline (503).
+	DefaultTimeout time.Duration
+	// PrepareTimeout caps the wall clock of one preparation flight
+	// (0 = none). When it fires the flight's solver is interrupted, the
+	// flight fails every waiter with ErrDeadline, and nothing is cached.
+	PrepareTimeout time.Duration
+
+	// RetryAfter is the Retry-After hint transports attach to shed and
+	// draining responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps HTTP request bodies (default 64 MiB); larger
+	// payloads are rejected with 413 before any DIMACS parsing.
+	MaxBodyBytes int64
 }
 
 // Service serves sample and count requests over a prepared-formula
@@ -73,6 +128,14 @@ type Config struct {
 type Service struct {
 	cfg   Config
 	cache *prepCache
+	adm   *admission
+	out   outcomes
+
+	mu       sync.Mutex // guards draining, active, activeSeq
+	idle     *sync.Cond // signalled when active drops to zero
+	draining bool
+	active   map[uint64]context.CancelCauseFunc
+	seq      uint64
 }
 
 // New validates the configuration and returns an empty service.
@@ -89,7 +152,20 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
 	}
-	return &Service{cfg: cfg, cache: newPrepCache(cfg.CacheSize)}, nil
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Service{
+		cfg:    cfg,
+		cache:  newPrepCache(cfg.CacheSize),
+		adm:    newAdmission(cfg),
+		active: map[uint64]context.CancelCauseFunc{},
+	}
+	s.idle = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // SampleRequest asks for n almost-uniform witnesses of Formula drawn
@@ -104,6 +180,13 @@ type SampleRequest struct {
 	// request's sampling rounds when > 0 (preparation always runs under
 	// the service-wide budgets, whoever triggers it).
 	MaxConflicts int64
+	// Tenant attributes the request for per-tenant admission quotas
+	// ("" is a valid tenant: the anonymous one).
+	Tenant string
+	// Timeout is the client's own deadline for this request when > 0.
+	// Exceeding it fails the request with ErrClientTimeout (422) — the
+	// client set the budget, the client gets the client-error status.
+	Timeout time.Duration
 }
 
 // SampleResult carries the witnesses and the request's observability.
@@ -118,6 +201,9 @@ type SampleResult struct {
 // CountRequest asks for the prepared witness count of Formula.
 type CountRequest struct {
 	Formula *cnf.Formula
+	// Tenant and Timeout behave exactly as in SampleRequest.
+	Tenant  string
+	Timeout time.Duration
 }
 
 // CountResult is the prepared count: exact when the formula's solution
@@ -143,6 +229,106 @@ const maxRequestWorkers = 64
 // split; each round is individually cancellable either way).
 const maxRequestSamples = 1 << 20
 
+// record classifies a finished request into the per-outcome totals.
+func (s *Service) record(err error) {
+	switch {
+	case err == nil:
+		s.out.ok.Add(1)
+	case errors.Is(err, ErrOverloaded):
+		s.out.shed.Add(1)
+	case errors.Is(err, ErrDraining):
+		s.out.drained.Add(1)
+	case errors.Is(err, ErrDeadline), errors.Is(err, ErrClientTimeout), errors.Is(err, core.ErrBudget):
+		s.out.timeout.Add(1)
+	case errors.Is(err, ErrPanic), errors.Is(err, parallel.ErrRoundPanic):
+		s.out.panics.Add(1)
+	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
+		s.out.invalid.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.out.canceled.Add(1)
+	default:
+		s.out.errs.Add(1)
+	}
+}
+
+// begin runs the request prologue shared by Sample and Count: the drain
+// gate, registration for drain interruption, admission, and the
+// deadline budgets. It returns the context the request must run under
+// and a finish func to defer (exactly once). On error the request was
+// never admitted.
+func (s *Service) begin(ctx context.Context, tenant string, clientTimeout time.Duration) (context.Context, func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: not accepting requests", ErrDraining)
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	id := s.seq
+	s.seq++
+	s.active[id] = cancel
+	s.mu.Unlock()
+
+	unregister := func() {
+		cancel(nil)
+		s.mu.Lock()
+		delete(s.active, id)
+		if len(s.active) == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+
+	release, err := s.adm.acquire(cctx, tenant)
+	if err != nil {
+		unregister()
+		return nil, nil, err
+	}
+
+	// Deadline budgets: the server default and the client's own, each
+	// tagged with its cause so the error (and HTTP status) says whose
+	// budget ran out. Nesting sorts precedence: the earlier deadline
+	// fires with its own cause.
+	rctx := cctx
+	cancels := []context.CancelFunc{}
+	if d := s.cfg.DefaultTimeout; d > 0 {
+		var c context.CancelFunc
+		rctx, c = context.WithDeadlineCause(rctx, time.Now().Add(d), ErrDeadline)
+		cancels = append(cancels, c)
+	}
+	if ct := clientTimeout; ct > 0 {
+		var c context.CancelFunc
+		rctx, c = context.WithDeadlineCause(rctx, time.Now().Add(ct), ErrClientTimeout)
+		cancels = append(cancels, c)
+	}
+	finish := func() {
+		for _, c := range cancels {
+			c()
+		}
+		release()
+		unregister()
+	}
+	return rctx, finish, nil
+}
+
+// requestErr resolves a context-shaped failure to the budget that
+// caused it: the server deadline, the client's own timeout, or a drain
+// interruption, each carrying its sentinel. Anything else passes
+// through unchanged.
+func requestErr(ctx context.Context, err error) error {
+	if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, ErrDeadline), errors.Is(cause, ErrClientTimeout), errors.Is(cause, ErrDraining):
+		return fmt.Errorf("%w (%v)", cause, err)
+	}
+	return err
+}
+
 // prepare fetches (or builds, single-flight) the prepared formula.
 func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool, error) {
 	if f == nil {
@@ -157,6 +343,25 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 		// memory the caller could mutate. Hits never reach this.
 		g := f.Clone()
 		return func() (*prepared, error) {
+			// Preparation wall-clock budget: the timer raises the same
+			// interrupt flag abandonment uses, so a runaway ApproxMC
+			// setup stops consuming CPU at the deadline; timedOut
+			// distinguishes the two for the error mapping.
+			var timedOut atomic.Bool
+			if pt := s.cfg.PrepareTimeout; pt > 0 {
+				t := time.AfterFunc(pt, func() {
+					timedOut.Store(true)
+					intr.Store(true)
+				})
+				defer t.Stop()
+			}
+			// Chaos injection: a slow preparation (stall honors the
+			// flight interrupt) and a preparation crash (recovered at
+			// the flight boundary in prepCache.get).
+			if err := faultpoint.FireWait(faultpoint.PrepareSlow, intr.Load); err != nil && !errors.Is(err, faultpoint.ErrInterrupted) {
+				return nil, err
+			}
+			_ = faultpoint.Fire(faultpoint.PreparePanic)
 			su, err := core.NewSetup(g, randx.New(core.PrepSeedFromFingerprint(fp)), core.Options{
 				Epsilon: s.cfg.Epsilon,
 				Solver: sat.Config{
@@ -165,12 +370,16 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 					GaussJordan:     s.cfg.GaussJordan,
 					// The cache raises intr when every requester has
 					// abandoned the flight; an unbudgeted preparation
-					// must not outlive all interest in it.
+					// must not outlive all interest in it. The
+					// PrepareTimeout timer above raises the same flag.
 					Interrupt: intr,
 				},
 				ApproxMCRounds: s.cfg.ApproxMCRounds,
 			})
 			if err != nil {
+				if timedOut.Load() {
+					return nil, fmt.Errorf("%w: preparation exceeded %v: %v", ErrDeadline, s.cfg.PrepareTimeout, err)
+				}
 				return nil, err
 			}
 			// The service builds sessions exclusively through
@@ -189,20 +398,37 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 // Sample draws req.N almost-uniform witnesses. Cache hits skip straight
 // to sampling — no ApproxMC work happens on the hit path. Cancelling
 // ctx interrupts in-flight SAT search promptly and fails the request
-// with ctx.Err().
-func (s *Service) Sample(ctx context.Context, req SampleRequest) (*SampleResult, error) {
+// with ctx.Err(). Under load the request may be queued briefly or shed
+// with ErrOverloaded; a panic anywhere below returns ErrPanic instead
+// of unwinding into the caller.
+func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleResult, err error) {
 	if req.N <= 0 {
-		return nil, fmt.Errorf("%w: sample count must be positive", ErrInvalidRequest)
+		err = fmt.Errorf("%w: sample count must be positive", ErrInvalidRequest)
+		s.record(err)
+		return nil, err
 	}
 	if req.N > maxRequestSamples {
-		return nil, fmt.Errorf("%w: sample count %d exceeds the per-request limit %d", ErrInvalidRequest, req.N, maxRequestSamples)
+		err = fmt.Errorf("%w: sample count %d exceeds the per-request limit %d", ErrInvalidRequest, req.N, maxRequestSamples)
+		s.record(err)
+		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
+	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
+	if err != nil {
+		s.record(err)
+		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+		finish()
+		s.record(err)
+	}()
+	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
+
 	prep, hit, err := s.prepare(ctx, req.Formula)
 	if err != nil {
-		return nil, err
+		return nil, requestErr(ctx, err)
 	}
 	prep.requests.Add(1)
 	workers := req.Workers
@@ -219,7 +445,7 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (*SampleResult,
 	})
 	ws, err := eng.SampleN(ctx, req.N)
 	if err != nil {
-		return nil, err
+		return nil, requestErr(ctx, err)
 	}
 	prep.samples.Add(int64(len(ws)))
 	return &SampleResult{
@@ -232,14 +458,27 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (*SampleResult,
 }
 
 // Count returns the prepared witness count. On a hit this is a pure
-// cache lookup — no solver call at all.
-func (s *Service) Count(ctx context.Context, req CountRequest) (*CountResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// cache lookup — no solver call at all. Admission, deadlines, and
+// panic isolation apply exactly as for Sample (a miss triggers a
+// preparation, which is the expensive path worth guarding).
+func (s *Service) Count(ctx context.Context, req CountRequest) (res *CountResult, err error) {
+	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
+	if err != nil {
+		s.record(err)
+		return nil, err
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+		finish()
+		s.record(err)
+	}()
+	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
+
 	prep, hit, err := s.prepare(ctx, req.Formula)
 	if err != nil {
-		return nil, err
+		return nil, requestErr(ctx, err)
 	}
 	prep.requests.Add(1)
 	prep.counts.Add(1)
@@ -247,5 +486,93 @@ func (s *Service) Count(ctx context.Context, req CountRequest) (*CountResult, er
 	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint}, nil
 }
 
-// Stats snapshots the cache and per-formula counters.
-func (s *Service) Stats() CacheStats { return s.cache.stats() }
+// HealthState is the coarse health signal /healthz reports.
+type HealthState string
+
+// Health states, in degradation order.
+const (
+	HealthOK         HealthState = "ok"
+	HealthOverloaded HealthState = "overloaded" // backpressure building: queue at least half full
+	HealthDraining   HealthState = "draining"   // Close in progress: no new requests
+)
+
+// Health reports the service's load state: "draining" once Close has
+// been called, "overloaded" while the admission queue is at least half
+// full (the early warning before shedding), "ok" otherwise.
+func (s *Service) Health() HealthState {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return HealthDraining
+	}
+	if s.adm.overloaded() {
+		return HealthOverloaded
+	}
+	return HealthOK
+}
+
+// Close drains the service: new requests are rejected with ErrDraining
+// immediately, in-flight requests (including queued ones and running
+// preparation flights) get until ctx's deadline to finish, and at the
+// deadline every straggler is cancelled with ErrDraining — solver
+// interrupts fire, so they return promptly rather than stranding
+// workers. Close returns once no request is active; the returned error
+// is ctx.Err() when the deadline forced interruptions, nil when
+// everything drained naturally. Idempotent.
+func (s *Service) Close(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.mu.Lock()
+		for len(s.active) > 0 {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+	}()
+
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline passed: interrupt every straggler. Cancellation reaches
+	// each request's engine watcher (solver interrupts) and, through
+	// the last-waiter contract, aborts any preparation flight whose
+	// requesters are all gone.
+	s.mu.Lock()
+	for _, cancel := range s.active {
+		cancel(ErrDraining)
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Stats is the full observability snapshot behind /stats: the
+// prepared-formula cache, the admission gate, the per-outcome request
+// totals, and the health state.
+type Stats struct {
+	CacheStats
+	Admission AdmissionStats `json:"admission"`
+	Outcomes  OutcomeStats   `json:"outcomes"`
+	State     HealthState    `json:"state"`
+}
+
+// Stats snapshots the cache, admission gate, and outcome counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		CacheStats: s.cache.stats(),
+		Admission:  s.adm.snapshot(),
+		Outcomes:   s.out.snapshot(),
+		State:      s.Health(),
+	}
+}

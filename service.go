@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/big"
 	"net/http"
+	"time"
 
 	"unigen/internal/cnf"
 	"unigen/internal/service"
@@ -35,6 +36,32 @@ type ServiceOptions struct {
 	Workers int
 	// CacheSize bounds the prepared-formula LRU cache (default 64).
 	CacheSize int
+
+	// Overload safety (zero values keep the permissive behavior: no
+	// gate, no queue, no quotas, no deadlines).
+
+	// MaxInFlight caps concurrently admitted requests (0 = unlimited).
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for a free slot once
+	// MaxInFlight are busy; everything beyond is shed immediately.
+	MaxQueue int
+	// QueueWait caps how long a queued request waits before being shed
+	// (default 2s when MaxInFlight > 0).
+	QueueWait time.Duration
+	// TenantQuota caps in-flight requests per tenant (0 = unlimited).
+	TenantQuota int
+	// DefaultTimeout is the server-side deadline applied to every
+	// request (0 = none); at the deadline in-flight SAT search is
+	// interrupted and the request fails.
+	DefaultTimeout time.Duration
+	// PrepareTimeout caps the wall clock of one formula preparation
+	// (0 = none).
+	PrepareTimeout time.Duration
+	// RetryAfter is the Retry-After hint the HTTP transport attaches to
+	// shed and draining responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps HTTP request bodies (default 64 MiB).
+	MaxBodyBytes int64
 }
 
 // Service is the embeddable sampling-as-a-service engine: a
@@ -63,6 +90,14 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		ApproxMCRounds:  opts.ApproxMCRounds,
 		Workers:         opts.Workers,
 		CacheSize:       opts.CacheSize,
+		MaxInFlight:     opts.MaxInFlight,
+		MaxQueue:        opts.MaxQueue,
+		QueueWait:       opts.QueueWait,
+		TenantQuota:     opts.TenantQuota,
+		DefaultTimeout:  opts.DefaultTimeout,
+		PrepareTimeout:  opts.PrepareTimeout,
+		RetryAfter:      opts.RetryAfter,
+		MaxBodyBytes:    opts.MaxBodyBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -104,7 +139,20 @@ func (s *Service) Count(ctx context.Context, f *Formula) (*big.Int, bool, error)
 // GET /stats.
 func (s *Service) Handler() http.Handler { return service.NewHandler(s.inner) }
 
-// ServiceStats is a snapshot of the prepared-formula cache.
+// Close drains the service: new requests are rejected immediately,
+// in-flight requests run to completion, and any still running when ctx
+// expires have their SAT searches interrupted and fail with a draining
+// error. Returns nil when the drain completed cleanly before the
+// deadline, ctx.Err() otherwise.
+func (s *Service) Close(ctx context.Context) error { return s.inner.Close(ctx) }
+
+// Health reports the coarse node state the /healthz endpoint serves:
+// "ok", "overloaded" (admission queue at least half full — stop
+// routing new work here if you can), or "draining" (shutting down).
+func (s *Service) Health() string { return string(s.inner.Health()) }
+
+// ServiceStats is a snapshot of the prepared-formula cache, the
+// admission gate, and per-outcome request counters.
 type ServiceStats struct {
 	Hits      int64 // requests that found a cached (or in-flight) preparation
 	Misses    int64 // requests that started a preparation
@@ -112,6 +160,10 @@ type ServiceStats struct {
 	Size      int // formulas currently cached
 	Capacity  int
 	Formulas  []ServiceFormulaStats // most recently used first
+
+	Admission service.AdmissionStats // concurrency gate snapshot
+	Outcomes  service.OutcomeStats   // finished requests by outcome
+	State     string                 // "ok" | "overloaded" | "draining"
 }
 
 // ServiceFormulaStats are per-formula request counters.
@@ -132,6 +184,9 @@ func (s *Service) Stats() ServiceStats {
 		Evictions: st.Evictions,
 		Size:      st.Size,
 		Capacity:  st.Capacity,
+		Admission: st.Admission,
+		Outcomes:  st.Outcomes,
+		State:     string(st.State),
 	}
 	for _, f := range st.Formulas {
 		out.Formulas = append(out.Formulas, ServiceFormulaStats{

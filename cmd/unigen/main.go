@@ -83,8 +83,8 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "c rounds=%d samples=%d failures=%d bsat-calls=%d\n",
 			st.Rounds, st.Samples, st.Failures, st.BSATCalls)
-		fmt.Fprintf(os.Stderr, "c xor-rows=%d propagations=%d\n",
-			st.XORRows, st.Propagations)
+		fmt.Fprintf(os.Stderr, "c xor-rows=%d conflicts=%d propagations=%d\n",
+			st.XORRows, st.Conflicts, st.Propagations)
 		fmt.Fprintf(os.Stderr, "c learned=%d removed=%d gc-compactions=%d arena-bytes=%d\n",
 			st.Learned, st.Removed, st.Compactions, st.ArenaBytes)
 	}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"unigen"
+)
+
+// debugSvc is the service the debug listener's /metrics mirror reads.
+// The debug listener starts before the service exists (it must be up
+// even if the main listener wedges), so the pointer is set by run and
+// the handler degrades to 503 while it is nil.
+var debugSvc atomic.Pointer[unigen.Service]
+
+// serveDebug starts the private debug listener: net/http/pprof under
+// /debug/pprof/ and a /metrics mirror, deliberately on a separate
+// address so profiling endpoints never ride the public port. Returns a
+// func that closes the listener.
+func serveDebug(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		svc := debugSvc.Load()
+		if svc == nil {
+			http.Error(w, "service not started", http.StatusServiceUnavailable)
+			return
+		}
+		svc.MetricsHandler().ServeHTTP(w, r)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Warn("debug listener stopped", "err", err)
+		}
+	}()
+	logger.Info("debug listener up", "addr", ln.Addr().String())
+	return func() { _ = srv.Close() }, nil
+}

@@ -10,13 +10,27 @@
 //
 // Endpoints:
 //
-//	POST /sample  {"formula": "<dimacs>", "n": 10, "seed": 1}
-//	              → {"vars": [...], "witnesses": ["0101…", ...],
-//	                 "cache_hit": true, "fingerprint": "…", "stats": {...}}
-//	POST /count   {"formula": "<dimacs>"}
-//	              → {"count": "1024", "exact": false, ...}
-//	GET  /healthz → {"ok": true, "state": "ok"|"overloaded"|"draining"}
-//	GET  /stats   → cache, admission-gate, and per-outcome counters
+//	POST /sample          {"formula": "<dimacs>", "n": 10, "seed": 1}
+//	                      → {"vars": [...], "witnesses": ["0101…", ...],
+//	                         "cache_hit": true, "fingerprint": "…",
+//	                         "trace_id": "…", "stats": {...}}
+//	POST /count           {"formula": "<dimacs>"}
+//	                      → {"count": "1024", "exact": false, ...}
+//	GET  /healthz         → {"ok": true, "state": "ok"|"overloaded"|"draining",
+//	                         "uptime_seconds": 12.3, "version": "…"}
+//	GET  /stats           → cache, admission, outcome, and cumulative
+//	                        solver-work counters
+//	GET  /metrics         → Prometheus text exposition (DESIGN §10)
+//	GET  /debug/requests  → recent slow/failed requests with span trees
+//
+// Every /sample and /count response carries an X-Unigen-Trace header;
+// adding "trace": true to a /sample body echoes the request's span tree
+// in the response. Logs are structured (log/slog): one record per
+// finished request with request id, tenant, fingerprint, outcome, and
+// duration; requests slower than -slow-request log at Warn with their
+// full phase breakdown. -log-json switches the stream to JSON.
+// -debug-addr starts a second listener serving net/http/pprof and a
+// /metrics mirror, kept off the public port.
 //
 // Overload behavior: beyond -max-inflight admitted requests and a
 // -max-queue wait queue, work is shed with 429 and a Retry-After hint;
@@ -36,7 +50,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,7 +60,14 @@ import (
 	"time"
 
 	"unigen"
+	"unigen/internal/obs"
 )
+
+// logger is the daemon's structured log stream. Package-level so run
+// (which tests drive directly) logs through whatever main configured;
+// the default matches the pre-flag behavior: human-readable text on
+// stderr.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	addr := flag.String("addr", ":8671", "listen address")
@@ -64,12 +85,30 @@ func main() {
 	prepTimeout := flag.Duration("prepare-timeout", 0, "wall-clock cap per formula preparation (0 = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline after SIGINT/SIGTERM")
 	maxBody := flag.Int64("max-body", 0, "max HTTP request body bytes (0 = 64 MiB)")
+	slowReq := flag.Duration("slow-request", 0, "latency past which a request logs at Warn with its span breakdown (0 = 1s, negative = off)")
+	debugRing := flag.Int("debug-requests", 0, "recent slow/failed requests retained at /debug/requests (0 = 128)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof and /metrics (empty = off)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: unigend [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "unigend: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, hopts))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, hopts))
+	}
+	slog.SetDefault(logger)
 
 	workers := *jobs
 	if workers <= 0 {
@@ -89,20 +128,51 @@ func main() {
 		DefaultTimeout: *timeout,
 		PrepareTimeout: *prepTimeout,
 		MaxBodyBytes:   *maxBody,
+		SlowRequest:    *slowReq,
+		DebugRequests:  *debugRing,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("unigend: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	log.Printf("unigend listening on %s (epsilon=%g workers=%d cache=%d inflight=%d)",
-		ln.Addr(), *epsilon, workers, *cache, *maxInFlight)
-	if err := run(ctx, opts, ln, *timeout, *drain); err != nil {
-		log.Fatalf("unigend: %v", err)
+
+	version, goVersion := obs.BuildVersion()
+	logger.Info("unigend listening",
+		"addr", ln.Addr().String(),
+		"version", version,
+		"go", goVersion,
+		"pid", os.Getpid(),
+		slog.Group("config",
+			"epsilon", *epsilon,
+			"workers", workers,
+			"cache", *cache,
+			"max_inflight", *maxInFlight,
+			"max_queue", *maxQueue,
+			"tenant_quota", *tenantQuota,
+			"timeout", timeout.String(),
+			"prepare_timeout", prepTimeout.String(),
+			"slow_request", slowReq.String(),
+			"gauss_jordan", *gauss,
+		))
+
+	if *debugAddr != "" {
+		stopDebug, err := serveDebug(*debugAddr)
+		if err != nil {
+			logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		defer stopDebug()
 	}
-	log.Printf("unigend: drained, bye")
+
+	if err := run(ctx, opts, ln, *timeout, *drain); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained, bye")
 }
 
 // run serves on ln until ctx is cancelled (a termination signal), then
@@ -111,10 +181,15 @@ func main() {
 // drainDeadline to finish in-flight requests — after which straggling
 // SAT searches are interrupted and their requests fail with 503.
 func run(ctx context.Context, opts unigen.ServiceOptions, ln net.Listener, timeout, drainDeadline time.Duration) error {
+	if opts.Logger == nil {
+		opts.Logger = logger
+	}
 	svc, err := unigen.NewService(opts)
 	if err != nil {
 		return err
 	}
+	debugSvc.Store(svc)
+	defer debugSvc.Store((*unigen.Service)(nil))
 
 	// WriteTimeout backstops the per-request deadline: a request that
 	// somehow ignores its budget still cannot hold a connection forever.
@@ -140,7 +215,7 @@ func run(ctx context.Context, opts unigen.ServiceOptions, ln net.Listener, timeo
 	case <-ctx.Done():
 	}
 
-	log.Printf("unigend: signal received, draining (deadline %v)", drainDeadline)
+	logger.Info("signal received, draining", "deadline", drainDeadline.String())
 	dctx, cancel := context.WithTimeout(context.Background(), drainDeadline)
 	defer cancel()
 
@@ -157,7 +232,7 @@ func run(ctx context.Context, opts unigen.ServiceOptions, ln net.Listener, timeo
 	// interrupted and answered 503. Only transport-level failures are
 	// real errors.
 	if svcErr != nil {
-		log.Printf("unigend: drain deadline exceeded, in-flight solvers interrupted")
+		logger.Warn("drain deadline exceeded, in-flight solvers interrupted")
 	}
 	if httpErr != nil && !errors.Is(httpErr, context.DeadlineExceeded) {
 		return httpErr

@@ -12,6 +12,7 @@ import (
 	"unigen/internal/counter"
 	"unigen/internal/faultpoint"
 	"unigen/internal/hashfam"
+	"unigen/internal/obs"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
 )
@@ -63,6 +64,12 @@ type Stats struct {
 	BSATCalls int64
 	XORRows   int64 // total xor clauses issued
 	XORLenSum int64 // total variables across xor clauses (exact popcount total)
+	// Conflicts counts solver conflicts across this run's BSAT calls —
+	// the per-request solver-work attribution the service's /stats and
+	// /metrics totals aggregate (DESIGN §10). Like Propagations below
+	// it describes the executing sessions, not round properties, so it
+	// is excluded from the parallel stats-determinism contract.
+	Conflicts int64
 	// Propagations counts solver propagations across this run's BSAT
 	// calls. Unlike every other counter it is a machine diagnostic, not
 	// a round property: it depends on the executing session's
@@ -98,6 +105,7 @@ func (st Stats) Merge(o Stats) Stats {
 	st.BSATCalls += o.BSATCalls
 	st.XORRows += o.XORRows
 	st.XORLenSum += o.XORLenSum
+	st.Conflicts += o.Conflicts
 	st.Propagations += o.Propagations
 	st.Learned += o.Learned
 	st.Removed += o.Removed
@@ -113,6 +121,7 @@ func (st Stats) Merge(o Stats) Stats {
 
 // addSolverStats folds one BSAT call's solver-stats delta into st.
 func (st *Stats) addSolverStats(d sat.Stats) {
+	st.Conflicts += d.Conflicts
 	st.Propagations += d.Propagations
 	st.Learned += d.Learned
 	st.Removed += d.RemovedDB
@@ -324,6 +333,16 @@ func sortWitnesses(ws []cnf.Assignment, s []cnf.Var) {
 // only from this round's RNG. This is the determinism contract the
 // parallel engine builds on.
 func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf.Assignment, error) {
+	return su.SampleRoundSpan(sess, rng, st, nil)
+}
+
+// SampleRoundSpan is SampleRound with per-phase tracing: each
+// cell-search attempt (one Enumerate against a drawn hash at cell
+// count 2^i) is recorded as a child span of sp, carrying the solver-
+// work delta of that enumeration. A nil sp disarms the tracing — every
+// span call degrades to a nil check — so SampleRound simply delegates
+// here.
+func (su *Setup) SampleRoundSpan(sess *bsat.Session, rng *randx.RNG, st *Stats, sp *obs.Span) (cnf.Assignment, error) {
 	_ = faultpoint.Fire(faultpoint.RoundPanic) // chaos: panics when armed
 	if su.easySet {
 		// Lines 5–7: uniform choice among all witnesses.
@@ -348,7 +367,14 @@ func (su *Setup) SampleRound(sess *bsat.Session, rng *randx.RNG, st *Stats) (cnf
 			st.XORRows += int64(h.M())
 			st.XORLenSum += int64(h.TotalLen())
 			// Line 16, on the caller's incremental session.
+			cell := sp.StartSpan("cell")
 			res = sess.Enumerate(kp.HiThresh+1, h)
+			cell.SetInt("i", int64(i))
+			cell.SetInt("xor_rows", int64(h.M()))
+			cell.SetInt("witnesses", int64(len(res.Witnesses)))
+			cell.SetInt("conflicts", res.Stats.Conflicts)
+			cell.SetInt("propagations", res.Stats.Propagations)
+			cell.End()
 			st.BSATCalls++
 			st.addSolverStats(res.Stats)
 			if !res.BudgetExceeded {

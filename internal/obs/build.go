@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildVersion returns the binary's version string and Go toolchain
+// version, for the unigen_build_info metric, the /healthz body, and
+// the daemon's startup log record. The version prefers the VCS
+// revision stamped by the Go toolchain (truncated to 12 hex chars),
+// falling back to the main module's version, then "unknown". Computed
+// once.
+var BuildVersion = sync.OnceValues(func() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version = rev + dirty
+	}
+	return version, goVersion
+})

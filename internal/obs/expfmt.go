@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a small,
+// strict parser for the subset WritePrometheus emits. It exists so
+// scrape tests (obs's own and the service layer's) can assert on the
+// grammar and on metric values instead of string-matching, and so
+// operators embedding the service can unit-test their dashboards'
+// assumptions against a real scrape.
+
+// ExpositionSeries is one parsed sample line.
+type ExpositionSeries struct {
+	Name   string            // full series name, including _bucket/_sum/_count suffixes
+	Labels map[string]string // unescaped label values
+	Value  float64
+}
+
+// ExpositionFamily is one parsed metric family.
+type ExpositionFamily struct {
+	Name   string // family name from the TYPE line
+	Help   string
+	Type   string // counter | gauge | histogram | untyped
+	Series []ExpositionSeries
+}
+
+// ParseExposition parses Prometheus text-format output, enforcing the
+// grammar WritePrometheus guarantees: every series is preceded by its
+// family's HELP and TYPE lines, families are contiguous, label syntax
+// and escaping are well-formed, and sample values parse as floats. It
+// returns families in document order.
+func ParseExposition(text string) ([]ExpositionFamily, error) {
+	var (
+		fams []ExpositionFamily
+		cur  *ExpositionFamily
+		seen = map[string]bool{}
+	)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: bad family name %q", lineNo, name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("line %d: family %s not contiguous", lineNo, name)
+			}
+			seen[name] = true
+			fams = append(fams, ExpositionFamily{Name: name, Help: unescapeHelp(help), Type: "untyped"})
+			cur = &fams[len(fams)-1]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			if cur == nil || cur.Name != fields[0] {
+				return nil, fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, fields[0])
+			}
+			switch fields[1] {
+			case KindCounter, KindGauge, KindHistogram, "summary", "untyped":
+				cur.Type = fields[1]
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, fields[1])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if cur == nil || !sampleBelongsTo(s.Name, cur) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family block", lineNo, s.Name)
+		}
+		cur.Series = append(cur.Series, s)
+	}
+	for i := range fams {
+		if err := checkHistogram(&fams[i]); err != nil {
+			return nil, err
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongsTo reports whether series name belongs to family f,
+// accounting for histogram suffixes.
+func sampleBelongsTo(name string, f *ExpositionFamily) bool {
+	if name == f.Name {
+		return f.Type != KindHistogram
+	}
+	if f.Type != KindHistogram {
+		return false
+	}
+	base, ok := strings.CutSuffix(name, "_bucket")
+	if !ok {
+		if base, ok = strings.CutSuffix(name, "_sum"); !ok {
+			base, ok = strings.CutSuffix(name, "_count")
+		}
+	}
+	return ok && base == f.Name
+}
+
+// checkHistogram enforces the histogram invariants on a parsed family:
+// per label set, cumulative buckets are monotone in ascending le order,
+// an le="+Inf" bucket exists and equals _count, and _sum and _count
+// are present.
+func checkHistogram(f *ExpositionFamily) error {
+	if f.Type != KindHistogram {
+		return nil
+	}
+	type hist struct {
+		buckets map[float64]float64 // le → cumulative count
+		sum     *float64
+		count   *float64
+	}
+	group := map[string]*hist{}
+	byKey := func(labels map[string]string) *hist {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k + "=" + labels[k] + ";")
+		}
+		h := group[sb.String()]
+		if h == nil {
+			h = &hist{buckets: map[float64]float64{}}
+			group[sb.String()] = h
+		}
+		return h
+	}
+	for _, s := range f.Series {
+		h := byKey(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leText, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			le, err := parseLE(leText)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, leText)
+			}
+			h.buckets[le] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			h.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			h.count = &v
+		}
+	}
+	for _, h := range group {
+		if h.sum == nil || h.count == nil {
+			return fmt.Errorf("%s: histogram missing _sum or _count", f.Name)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		if len(les) == 0 || !math.IsInf(les[len(les)-1], +1) {
+			return fmt.Errorf("%s: histogram missing le=\"+Inf\" bucket", f.Name)
+		}
+		prev := math.Inf(-1)
+		cum := -1.0
+		for _, le := range les {
+			if le <= prev {
+				return fmt.Errorf("%s: duplicate le bound", f.Name)
+			}
+			if h.buckets[le] < cum {
+				return fmt.Errorf("%s: cumulative buckets not monotone", f.Name)
+			}
+			cum = h.buckets[le]
+			prev = le
+		}
+		if h.buckets[math.Inf(+1)] != *h.count {
+			return fmt.Errorf("%s: bucket(+Inf)=%g != count=%g", f.Name, h.buckets[math.Inf(+1)], *h.count)
+		}
+	}
+	return nil
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(+1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSampleLine parses `name{l="v",...} value` (timestamps, which
+// WritePrometheus never emits, are rejected).
+func parseSampleLine(line string) (ExpositionSeries, error) {
+	s := ExpositionSeries{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		j := 1
+		for {
+			if j >= len(rest) {
+				return s, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[j] == '}' {
+				j++
+				break
+			}
+			k := j
+			for k < len(rest) && isNameChar(rest[k], k == j) {
+				k++
+			}
+			if k == j || k >= len(rest) || rest[k] != '=' || k+1 >= len(rest) || rest[k+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			name := rest[j:k]
+			val, adv, err := unquoteLabel(rest[k+2:])
+			if err != nil {
+				return s, fmt.Errorf("%v in %q", err, line)
+			}
+			if _, dup := s.Labels[name]; dup {
+				return s, fmt.Errorf("duplicate label %s in %q", name, line)
+			}
+			s.Labels[name] = val
+			j = k + 2 + adv
+			if j < len(rest) && rest[j] == ',' {
+				j++
+			}
+		}
+		rest = rest[j:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected timestamp or trailing junk in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// unquoteLabel consumes an escaped label value up to its closing quote,
+// returning the unescaped value and how many input bytes were consumed
+// (including the closing quote).
+func unquoteLabel(s string) (string, int, error) {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '\n':
+			return "", 0, fmt.Errorf("raw newline in label value")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+func isNameChar(c byte, first bool) bool {
+	alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				sb.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				sb.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []ExpositionFamily, name string) *ExpositionFamily {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// SeriesValue returns the value of the series matching name and the
+// given label pairs exactly (every pair must be present on the series;
+// extra series labels are allowed). The second return is false when no
+// series matches.
+func SeriesValue(f *ExpositionFamily, name string, pairs ...string) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+next:
+	for _, s := range f.Series {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i+1 < len(pairs); i += 2 {
+			if s.Labels[pairs[i]] != pairs[i+1] {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}

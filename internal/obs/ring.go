@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RequestRecord is one finished request as retained by the debug ring:
+// identity, attribution, outcome, and the full span tree. It is the
+// JSON body element of GET /debug/requests.
+type RequestRecord struct {
+	TraceID     string        `json:"trace_id"`
+	Time        time.Time     `json:"time"`
+	Endpoint    string        `json:"endpoint"`
+	Tenant      string        `json:"tenant,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Outcome     string        `json:"outcome"`
+	Error       string        `json:"error,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
+	N           int           `json:"n,omitempty"`
+	CacheHit    bool          `json:"cache_hit"`
+	Trace       *SpanView     `json:"trace,omitempty"`
+}
+
+// RequestRing is a bounded ring of recent slow (or failed) requests.
+// Admission policy lives with the caller; the ring only bounds memory:
+// once capacity is reached every Add evicts the oldest record.
+type RequestRing struct {
+	mu    sync.Mutex
+	buf   []RequestRecord
+	next  int   // index the next Add writes to
+	total int64 // records ever added (wrap-aware)
+}
+
+// NewRequestRing returns a ring retaining up to capacity records
+// (minimum 1).
+func NewRequestRing(capacity int) *RequestRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RequestRing{buf: make([]RequestRecord, 0, capacity)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (r *RequestRing) Add(rec RequestRecord) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many records were ever added (≥ len(Snapshot())).
+func (r *RequestRing) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained records, newest first.
+func (r *RequestRing) Snapshot() []RequestRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RequestRecord, 0, len(r.buf))
+	// next-1 is the newest record; walk backwards through the ring.
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

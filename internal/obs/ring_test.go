@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingEviction fills past capacity and checks bounded memory,
+// newest-first order, and the wrap-aware total.
+func TestRingEviction(t *testing.T) {
+	r := NewRequestRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(RequestRecord{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d records, want 3", len(got))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if got[i].TraceID != want {
+			t.Fatalf("snapshot[%d] = %s, want %s (newest first)", i, got[i].TraceID, want)
+		}
+	}
+}
+
+// TestRingMinCapacity pins the capacity floor of 1.
+func TestRingMinCapacity(t *testing.T) {
+	r := NewRequestRing(0)
+	r.Add(RequestRecord{TraceID: "a"})
+	r.Add(RequestRecord{TraceID: "b"})
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].TraceID != "b" {
+		t.Fatalf("min-capacity ring: %+v", got)
+	}
+}
+
+// TestRingConcurrent adds from many goroutines while snapshotting;
+// run under -race.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRequestRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(RequestRecord{TraceID: fmt.Sprintf("%d-%d", w, i)})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		if s := r.Snapshot(); len(s) > 16 {
+			t.Fatalf("ring overflowed: %d", len(s))
+		}
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+	if s := r.Snapshot(); len(s) != 16 {
+		t.Fatalf("retained %d, want 16", len(s))
+	}
+}

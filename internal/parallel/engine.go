@@ -36,6 +36,7 @@ import (
 	"unigen/internal/bsat"
 	"unigen/internal/cnf"
 	"unigen/internal/core"
+	"unigen/internal/obs"
 	"unigen/internal/randx"
 )
 
@@ -50,14 +51,37 @@ var ErrRoundPanic = errors.New("parallel: sampling round panicked")
 // runRound executes one sampling round, converting a panic into
 // ErrRoundPanic. This is the failure-isolation boundary of the engine:
 // everything below it (core, bsat, sat) may panic without taking down
-// the daemon.
-func runRound(su *core.Setup, sess *bsat.Session, rng *randx.RNG, st *core.Stats) (w cnf.Assignment, err error) {
+// the daemon. sp, when non-nil, receives per-cell child spans from the
+// core (obs tracing); a panic still ends the round's span upstream.
+func runRound(su *core.Setup, sess *bsat.Session, rng *randx.RNG, st *core.Stats, sp *obs.Span) (w cnf.Assignment, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrRoundPanic, r)
 		}
 	}()
-	return su.SampleRound(sess, rng, st)
+	return su.SampleRoundSpan(sess, rng, st, sp)
+}
+
+// traceRound opens a "round" span under the context-carried span and
+// returns a closure finishing it with the round's solver-work delta.
+// When ctx carries no span both returns are nil-safe no-ops — the
+// disarmed path costs one context lookup per round.
+func traceRound(parent *obs.Span, absIdx uint64) (*obs.Span, func(st *core.Stats, err error)) {
+	sp := parent.StartSpan("round")
+	if sp == nil {
+		return nil, func(*core.Stats, error) {}
+	}
+	return sp, func(st *core.Stats, err error) {
+		sp.SetInt("idx", int64(absIdx))
+		sp.SetInt("bsat_calls", st.BSATCalls)
+		sp.SetInt("conflicts", st.Conflicts)
+		sp.SetInt("propagations", st.Propagations)
+		sp.SetInt("xor_rows", st.XORRows)
+		if err != nil {
+			sp.SetInt("failed", 1)
+		}
+		sp.End()
+	}
 }
 
 // Options configures an Engine.
@@ -180,7 +204,9 @@ func (e *Engine) Sample(ctx context.Context) (cnf.Assignment, error) {
 		}
 		rng := randx.Stream(e.seed, e.next)
 		var st core.Stats
-		w, err := runRound(e.setup, e.sessions[0], rng, &st)
+		sp, endRound := traceRound(obs.SpanFrom(ctx), e.next)
+		w, err := runRound(e.setup, e.sessions[0], rng, &st, sp)
+		endRound(&st, err)
 		e.next++
 		e.stats = e.stats.Merge(st)
 		switch {
@@ -247,6 +273,7 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 		results   = make(chan roundResult, 2*len(e.sessions))
 		wg        sync.WaitGroup
 	)
+	parentSpan := obs.SpanFrom(ctx)
 	for _, sess := range e.sessions {
 		wg.Add(1)
 		go func(sess *bsat.Session) {
@@ -255,7 +282,9 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 				idx := dispenser.Add(1) - 1
 				rng := randx.Stream(e.seed, e.next+idx)
 				var st core.Stats
-				w, err := runRound(e.setup, sess, rng, &st)
+				sp, endRound := traceRound(parentSpan, e.next+idx)
+				w, err := runRound(e.setup, sess, rng, &st, sp)
+				endRound(&st, err)
 				if err != nil && !errors.Is(err, ErrRoundPanic) && ctx.Err() != nil {
 					// Interrupt-induced budget errors masquerade as
 					// ErrBudget; report the cancellation instead. Panics

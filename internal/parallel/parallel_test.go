@@ -60,10 +60,11 @@ func sampleWith(t *testing.T, workers, n int) ([]string, core.Stats) {
 }
 
 // canonStats zeroes the fields exempt from the determinism contract:
-// the machine diagnostics (Propagations and the clause-database
-// counters/gauge) depend on each session's accumulated solver state,
-// so they legitimately vary with pool shape.
+// the machine diagnostics (Conflicts, Propagations, and the
+// clause-database counters/gauge) depend on each session's accumulated
+// solver state, so they legitimately vary with pool shape.
 func canonStats(st core.Stats) core.Stats {
+	st.Conflicts = 0
 	st.Propagations = 0
 	st.Learned = 0
 	st.Removed = 0

@@ -224,6 +224,30 @@ type outcomes struct {
 	ok, shed, drained, timeout, panics, invalid, canceled, errs atomic.Int64
 }
 
+// add records one finished request under the shared outcome vocabulary
+// (see outcomeName in obs.go): the same names label
+// unigen_requests_total, structured logs, and the debug ring.
+func (o *outcomes) add(name string) {
+	switch name {
+	case "ok":
+		o.ok.Add(1)
+	case "shed":
+		o.shed.Add(1)
+	case "drained":
+		o.drained.Add(1)
+	case "timeout":
+		o.timeout.Add(1)
+	case "panic":
+		o.panics.Add(1)
+	case "invalid":
+		o.invalid.Add(1)
+	case "canceled":
+		o.canceled.Add(1)
+	default:
+		o.errs.Add(1)
+	}
+}
+
 func (o *outcomes) snapshot() OutcomeStats {
 	return OutcomeStats{
 		OK:       o.ok.Load(),

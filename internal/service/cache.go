@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unigen/internal/core"
 )
@@ -54,6 +55,13 @@ type prepCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// onFlightDone, when set, observes every finished preparation
+	// flight exactly once — single-flight means co-waiters share one
+	// call — with the flight's wall-clock duration. It runs off the
+	// cache lock; the service wires solver-work totals and the prepare
+	// latency histogram through it.
+	onFlightDone func(p *prepared, d time.Duration, err error)
 }
 
 func newPrepCache(capacity int) *prepCache {
@@ -96,7 +104,11 @@ func (c *prepCache) get(ctx context.Context, key string, begin func(intr *atomic
 	if !hit {
 		run := begin(&e.intr)
 		go func() {
+			flightStart := time.Now()
 			prep, err := runFlight(run)
+			if c.onFlightDone != nil {
+				c.onFlightDone(prep, time.Since(flightStart), err)
+			}
 			c.mu.Lock()
 			e.prep, e.err = prep, err
 			e.ready = true
@@ -200,6 +212,14 @@ type FormulaStats struct {
 	Requests    int64  `json:"requests"`
 	Samples     int64  `json:"samples"`
 	Counts      int64  `json:"counts"`
+}
+
+// counts returns just the scalar counters — the cheap accessor the
+// metrics collectors scrape without building the per-formula list.
+func (c *prepCache) counts() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.lru.Len()
 }
 
 func (c *prepCache) stats() CacheStats {

@@ -12,6 +12,7 @@ import (
 
 	"unigen/internal/cnf"
 	"unigen/internal/core"
+	"unigen/internal/obs"
 	"unigen/internal/parallel"
 )
 
@@ -23,6 +24,12 @@ const defaultMaxBodyBytes = 64 << 20
 // per-tenant admission quotas (the JSON "tenant" field wins when both
 // are present).
 const TenantHeader = "X-Unigen-Tenant"
+
+// TraceHeader is the response header carrying the request's trace ID.
+// Every /sample and /count response gets one; quoting it back (e.g.
+// when filing a report against a slow request) lets an operator find
+// the span tree in GET /debug/requests or in the slow-request log.
+const TraceHeader = "X-Unigen-Trace"
 
 // SampleHTTPRequest is the JSON body of POST /sample.
 type SampleHTTPRequest struct {
@@ -41,6 +48,11 @@ type SampleHTTPRequest struct {
 	// TimeoutMS is the client's own deadline in milliseconds; exceeding
 	// it returns 422 (the client set the budget).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace, when true, echoes the request's span tree (prepare /
+	// rounds / per-cell timings plus solver-counter deltas) in the
+	// response. The X-Unigen-Trace header carries the trace ID either
+	// way.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SampleHTTPResponse is the JSON body of a successful POST /sample.
@@ -53,15 +65,19 @@ type SampleHTTPResponse struct {
 	CacheHit    bool           `json:"cache_hit"`
 	Fingerprint string         `json:"fingerprint"`
 	Stats       HTTPStatsBlock `json:"stats"`
+	TraceID     string         `json:"trace_id"`
+	Trace       *obs.SpanView  `json:"trace,omitempty"` // present when the request set "trace": true
 }
 
 // HTTPStatsBlock is the per-request stats subset exposed over HTTP.
 type HTTPStatsBlock struct {
-	Rounds    int64 `json:"rounds"`
-	Samples   int64 `json:"samples"`
-	Failures  int64 `json:"failures"`
-	BSATCalls int64 `json:"bsat_calls"`
-	XORRows   int64 `json:"xor_rows"`
+	Rounds       int64 `json:"rounds"`
+	Samples      int64 `json:"samples"`
+	Failures     int64 `json:"failures"`
+	BSATCalls    int64 `json:"bsat_calls"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	XORRows      int64 `json:"xor_rows"`
 }
 
 // CountHTTPRequest is the JSON body of POST /count.
@@ -83,9 +99,13 @@ type CountHTTPResponse struct {
 // HealthzHTTPResponse is the JSON body of GET /healthz. OK stays true
 // while the node can accept work ("ok" and "overloaded"); "draining"
 // reports 503 with OK false so load balancers stop routing here.
+// UptimeSeconds and Version identify the node a balancer is talking
+// to (stale deploys and flapping restarts both show up here).
 type HealthzHTTPResponse struct {
-	OK    bool        `json:"ok"`
-	State HealthState `json:"state"`
+	OK            bool        `json:"ok"`
+	State         HealthState `json:"state"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Version       string      `json:"version"`
 }
 
 // StatsHTTPResponse is the JSON body of GET /stats.
@@ -98,6 +118,8 @@ type StatsHTTPResponse struct {
 	Formulas  []FormulaStats `json:"formulas,omitempty"`
 	Admission AdmissionStats `json:"admission"`
 	Outcomes  OutcomeStats   `json:"outcomes"`
+	Solver    SolverTotals   `json:"solver"`  // sampling work across finished requests
+	Prepare   SolverTotals   `json:"prepare"` // preparation-flight work
 	State     HealthState    `json:"state"`
 }
 
@@ -107,15 +129,18 @@ type errorHTTPResponse struct {
 
 // NewHandler returns the HTTP transport of the service:
 //
-//	POST /sample  {"formula": "<dimacs>", "n": 10, "seed": 1}
-//	POST /count   {"formula": "<dimacs>"}
+//	POST /sample          {"formula": "<dimacs>", "n": 10, "seed": 1}
+//	POST /count           {"formula": "<dimacs>"}
 //	GET  /healthz
 //	GET  /stats
+//	GET  /metrics         Prometheus text exposition (DESIGN §10)
+//	GET  /debug/requests  recent slow/failed requests with span trees
 //
 // Request contexts propagate into the solver: a client that disconnects
 // mid-request interrupts its in-flight SAT search. Overload maps to
 // 429 (shed) and 503 (draining / server deadline) with Retry-After;
-// oversized bodies to 413; recovered panics to 500.
+// oversized bodies to 413; recovered panics to 500. Every /sample and
+// /count response carries an X-Unigen-Trace ID.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sample", func(w http.ResponseWriter, r *http.Request) {
@@ -127,7 +152,9 @@ func NewHandler(s *Service) http.Handler {
 		if !ok {
 			return
 		}
-		res, err := s.Sample(r.Context(), SampleRequest{
+		tr := obs.NewTrace()
+		w.Header().Set(TraceHeader, tr.ID())
+		res, err := s.Sample(obs.WithTrace(r.Context(), tr), SampleRequest{
 			Formula:      f,
 			N:            req.N,
 			Seed:         req.Seed,
@@ -145,13 +172,19 @@ func NewHandler(s *Service) http.Handler {
 			Witnesses:   make([]string, len(res.Witnesses)),
 			CacheHit:    res.CacheHit,
 			Fingerprint: res.Fingerprint,
+			TraceID:     tr.ID(),
 			Stats: HTTPStatsBlock{
-				Rounds:    res.Stats.Rounds(),
-				Samples:   res.Stats.Samples,
-				Failures:  res.Stats.Failures,
-				BSATCalls: res.Stats.BSATCalls,
-				XORRows:   res.Stats.XORRows,
+				Rounds:       res.Stats.Rounds(),
+				Samples:      res.Stats.Samples,
+				Failures:     res.Stats.Failures,
+				BSATCalls:    res.Stats.BSATCalls,
+				Conflicts:    res.Stats.Conflicts,
+				Propagations: res.Stats.Propagations,
+				XORRows:      res.Stats.XORRows,
 			},
+		}
+		if req.Trace {
+			resp.Trace = tr.Snapshot()
 		}
 		for i, v := range res.Vars {
 			resp.Vars[i] = int(v)
@@ -170,7 +203,9 @@ func NewHandler(s *Service) http.Handler {
 		if !ok {
 			return
 		}
-		res, err := s.Count(r.Context(), CountRequest{
+		tr := obs.NewTrace()
+		w.Header().Set(TraceHeader, tr.ID())
+		res, err := s.Count(obs.WithTrace(r.Context(), tr), CountRequest{
 			Formula: f,
 			Tenant:  tenantOf(r, req.Tenant),
 			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
@@ -197,7 +232,13 @@ func NewHandler(s *Service) http.Handler {
 			status = http.StatusServiceUnavailable
 			s.setRetryAfter(w)
 		}
-		writeJSON(w, status, HealthzHTTPResponse{OK: state != HealthDraining, State: state})
+		version, _ := obs.BuildVersion()
+		writeJSON(w, status, HealthzHTTPResponse{
+			OK:            state != HealthDraining,
+			State:         state,
+			UptimeSeconds: s.Uptime().Seconds(),
+			Version:       version,
+		})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -214,10 +255,34 @@ func NewHandler(s *Service) http.Handler {
 			Formulas:  st.Formulas,
 			Admission: st.Admission,
 			Outcomes:  st.Outcomes,
+			Solver:    st.Solver,
+			Prepare:   st.Prepare,
 			State:     st.State,
 		})
 	})
+	mux.Handle("/metrics", MetricsHandler(s))
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use GET"})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.DebugRequests())
+	})
 	return recoverMiddleware(mux)
+}
+
+// MetricsHandler serves the service's registry in the Prometheus text
+// exposition format — mounted at /metrics by NewHandler, and reusable
+// on a separate debug listener.
+func MetricsHandler(s *Service) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorHTTPResponse{Error: "use GET"})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
 }
 
 // recoverMiddleware is the transport's last-resort panic boundary: the

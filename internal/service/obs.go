@@ -1,0 +1,350 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"unigen/internal/core"
+	"unigen/internal/obs"
+)
+
+// Observability wiring (DESIGN §10): every counter the service and the
+// layers below it already kept — admission gate, outcome tallies,
+// cache hit/miss, solver-work deltas — feeds one obs.Registry rendered
+// at GET /metrics, and every request carries an obs.Trace whose span
+// tree (admission / prepare / rounds / per-round cells) is surfaced
+// via the X-Unigen-Trace header, the optional "trace" JSON echo, the
+// slow-request log record, and the GET /debug/requests ring.
+
+// SolverTotals aggregates solver work over many requests or
+// preparation flights — the cumulative view /stats lost when
+// core.Stats was computed per request and dropped. ArenaBytes is a
+// gauge (largest footprint any contributing session reported); all
+// other fields are monotone counters.
+type SolverTotals struct {
+	Requests     int64 `json:"requests"` // contributing finished requests / flights
+	Rounds       int64 `json:"rounds"`
+	Samples      int64 `json:"samples"`
+	Failures     int64 `json:"failures"`
+	BSATCalls    int64 `json:"bsat_calls"`
+	Conflicts    int64 `json:"conflicts"`
+	Propagations int64 `json:"propagations"`
+	XORRows      int64 `json:"xor_rows"`
+	Learned      int64 `json:"learned"`
+	Removed      int64 `json:"removed"`
+	Compactions  int64 `json:"compactions"`
+	ArenaBytes   int64 `json:"arena_bytes"`
+}
+
+// workTotals is the atomic backing of SolverTotals. add folds one
+// request's (or flight's) core.Stats in; every field is independent,
+// so a torn read across fields only skews a scrape by an in-flight
+// request — acceptable for monitoring, race-free by construction.
+type workTotals struct {
+	requests     atomic.Int64
+	rounds       atomic.Int64
+	samples      atomic.Int64
+	failures     atomic.Int64
+	bsatCalls    atomic.Int64
+	conflicts    atomic.Int64
+	propagations atomic.Int64
+	xorRows      atomic.Int64
+	learned      atomic.Int64
+	removed      atomic.Int64
+	compactions  atomic.Int64
+	arenaBytes   atomic.Int64 // max, not sum
+}
+
+func (w *workTotals) add(st core.Stats) {
+	w.requests.Add(1)
+	w.rounds.Add(st.Rounds())
+	w.samples.Add(st.Samples)
+	w.failures.Add(st.Failures)
+	w.bsatCalls.Add(st.BSATCalls)
+	w.conflicts.Add(st.Conflicts)
+	w.propagations.Add(st.Propagations)
+	w.xorRows.Add(st.XORRows)
+	w.learned.Add(st.Learned)
+	w.removed.Add(st.Removed)
+	w.compactions.Add(st.Compactions)
+	for {
+		cur := w.arenaBytes.Load()
+		if st.ArenaBytes <= cur || w.arenaBytes.CompareAndSwap(cur, st.ArenaBytes) {
+			break
+		}
+	}
+}
+
+func (w *workTotals) snapshot() SolverTotals {
+	return SolverTotals{
+		Requests:     w.requests.Load(),
+		Rounds:       w.rounds.Load(),
+		Samples:      w.samples.Load(),
+		Failures:     w.failures.Load(),
+		BSATCalls:    w.bsatCalls.Load(),
+		Conflicts:    w.conflicts.Load(),
+		Propagations: w.propagations.Load(),
+		XORRows:      w.xorRows.Load(),
+		Learned:      w.learned.Load(),
+		Removed:      w.removed.Load(),
+		Compactions:  w.compactions.Load(),
+		ArenaBytes:   w.arenaBytes.Load(),
+	}
+}
+
+// serviceMetrics holds the owned (hot-path) metric instruments; the
+// families derived from existing stats sources are registered as
+// scrape-time collectors and need no struct fields.
+type serviceMetrics struct {
+	requests     *obs.CounterVec   // unigen_requests_total{endpoint,outcome}
+	reqSeconds   *obs.HistogramVec // unigen_request_seconds{endpoint}
+	phaseSeconds *obs.HistogramVec // unigen_phase_seconds{phase}
+	witnesses    *obs.Counter      // unigen_witnesses_total
+	prepares     *obs.CounterVec   // unigen_prepare_flights_total{result}
+}
+
+// solverSamples renders the two solver-work phases of a SolverTotals
+// pair as one labeled family.
+func solverSamples(pick func(SolverTotals) int64, sample, prepare SolverTotals) []obs.Sample {
+	return []obs.Sample{
+		{LabelValues: []string{"sample"}, Value: float64(pick(sample))},
+		{LabelValues: []string{"prepare"}, Value: float64(pick(prepare))},
+	}
+}
+
+// newServiceMetrics registers every metric family against s. Owned
+// instruments are returned; collected families close over the
+// service's existing counters so a scrape always reflects the same
+// numbers /stats reports.
+func newServiceMetrics(s *Service) *serviceMetrics {
+	r := s.reg
+	m := &serviceMetrics{
+		requests:     r.NewCounterVec("unigen_requests_total", "Finished requests by endpoint and outcome.", "endpoint", "outcome"),
+		reqSeconds:   r.NewHistogramVec("unigen_request_seconds", "End-to-end request latency in seconds.", nil, "endpoint"),
+		phaseSeconds: r.NewHistogramVec("unigen_phase_seconds", "Latency of request phases: prepare (full preparation flights) and rounds (hash-constrained sampling).", nil, "phase"),
+		witnesses:    r.NewCounter("unigen_witnesses_total", "Witnesses returned across all sample requests."),
+		prepares:     r.NewCounterVec("unigen_prepare_flights_total", "Preparation flights by result.", "result"),
+	}
+
+	// Cache (DESIGN §8): cumulative hit/miss/eviction counters plus the
+	// current size against capacity.
+	r.CollectCounters("unigen_cache_requests_total", "Prepared-formula cache lookups by result.", []string{"result"}, func() []obs.Sample {
+		hits, misses, evictions, _ := s.cache.counts()
+		return []obs.Sample{
+			{LabelValues: []string{"hit"}, Value: float64(hits)},
+			{LabelValues: []string{"miss"}, Value: float64(misses)},
+			{LabelValues: []string{"eviction"}, Value: float64(evictions)},
+		}
+	})
+	r.CollectGauges("unigen_cache_size", "Prepared formulas currently cached.", nil, func() []obs.Sample {
+		_, _, _, size := s.cache.counts()
+		return []obs.Sample{{Value: float64(size)}}
+	})
+	r.CollectGauges("unigen_cache_capacity", "Prepared-formula cache capacity (LRU bound).", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.cfg.CacheSize)}}
+	})
+
+	// Admission gate (DESIGN §9): live occupancy and the shed counters,
+	// split by reason exactly as AdmissionStats reports them.
+	r.CollectGauges("unigen_inflight_requests", "Requests currently admitted (slots occupied).", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.adm.snapshot().InFlight)}}
+	})
+	r.CollectGauges("unigen_admission_queued", "Requests currently waiting for an admission slot.", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.adm.queued.Load())}}
+	})
+	r.CollectGauges("unigen_admission_queue_high_water", "High-water mark of the admission wait queue.", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.adm.maxQueued.Load())}}
+	})
+	r.CollectCounters("unigen_admission_shed_total", "Requests shed by the admission gate, by reason.", []string{"reason"}, func() []obs.Sample {
+		return []obs.Sample{
+			{LabelValues: []string{"queue_full"}, Value: float64(s.adm.shedFull.Load())},
+			{LabelValues: []string{"queue_wait"}, Value: float64(s.adm.shedWait.Load())},
+			{LabelValues: []string{"tenant_quota"}, Value: float64(s.adm.shedTenant.Load())},
+		}
+	})
+
+	// Solver-work totals, the cumulative view of core.Stats across
+	// finished requests (phase="sample") and preparation flights
+	// (phase="prepare").
+	type picker struct {
+		name, help string
+		pick       func(SolverTotals) int64
+	}
+	for _, p := range []picker{
+		{"unigen_solver_bsat_calls_total", "Bounded-enumeration solver calls.", func(t SolverTotals) int64 { return t.BSATCalls }},
+		{"unigen_solver_conflicts_total", "CDCL conflicts.", func(t SolverTotals) int64 { return t.Conflicts }},
+		{"unigen_solver_propagations_total", "Unit propagations.", func(t SolverTotals) int64 { return t.Propagations }},
+		{"unigen_solver_xor_rows_total", "Hash XOR rows issued.", func(t SolverTotals) int64 { return t.XORRows }},
+		{"unigen_solver_learned_total", "Clauses learned.", func(t SolverTotals) int64 { return t.Learned }},
+		{"unigen_solver_removed_total", "Learned clauses reclaimed (reduceDB + session GC).", func(t SolverTotals) int64 { return t.Removed }},
+		{"unigen_solver_compactions_total", "Clause-arena GC compactions.", func(t SolverTotals) int64 { return t.Compactions }},
+		{"unigen_sampling_rounds_total", "Sampling rounds consumed (successes + bot outcomes).", func(t SolverTotals) int64 { return t.Rounds }},
+	} {
+		pick := p.pick
+		r.CollectCounters(p.name, p.help, []string{"phase"}, func() []obs.Sample {
+			return solverSamples(pick, s.work.snapshot(), s.prep.snapshot())
+		})
+	}
+	r.CollectGauges("unigen_solver_arena_bytes", "Largest clause-arena footprint any session reported.", []string{"phase"}, func() []obs.Sample {
+		return solverSamples(func(t SolverTotals) int64 { return t.ArenaBytes }, s.work.snapshot(), s.prep.snapshot())
+	})
+
+	// Process-level: uptime, build identity, and the debug ring volume.
+	r.CollectGauges("unigen_uptime_seconds", "Seconds since the service was constructed.", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: time.Since(s.start).Seconds()}}
+	})
+	r.CollectGauges("unigen_build_info", "Build identity (constant 1; the labels carry the info).", []string{"version", "go"}, func() []obs.Sample {
+		v, gov := obs.BuildVersion()
+		return []obs.Sample{{LabelValues: []string{v, gov}, Value: 1}}
+	})
+	r.CollectCounters("unigen_slow_requests_total", "Requests recorded in the slow-request debug ring.", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.ring.Total())}}
+	})
+	return m
+}
+
+// outcomeName classifies a finished request's error into the outcome
+// vocabulary shared by OutcomeStats, the unigen_requests_total metric,
+// structured logs, and the debug ring.
+func outcomeName(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrDraining):
+		return "drained"
+	case errors.Is(err, ErrDeadline), errors.Is(err, ErrClientTimeout), errors.Is(err, core.ErrBudget):
+		return "timeout"
+	case errors.Is(err, ErrPanic), isRoundPanic(err):
+		return "panic"
+	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
+		return "invalid"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+// reqObs carries one request's observability through its lifetime:
+// the trace, the wall clock, and the attribution fields the epilogue
+// logs and records. startRequest installs the trace into the request
+// context (reusing one the transport already created, so the HTTP
+// layer and the service always share a single span tree).
+type reqObs struct {
+	s        *Service
+	endpoint string
+	tenant   string
+	tr       *obs.Trace
+	start    time.Time
+
+	// Filled in as the request progresses.
+	n           int
+	fingerprint string
+	cacheHit    bool
+	witnesses   int
+}
+
+func (s *Service) startRequest(ctx context.Context, endpoint, tenant string) (context.Context, *reqObs) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	return ctx, &reqObs{s: s, endpoint: endpoint, tenant: tenant, tr: tr, start: time.Now()}
+}
+
+// finish is the request epilogue: outcome counters, latency
+// histograms, the structured log record, and — for slow or genuinely
+// failed requests — the debug ring. Shed and invalid requests stay out
+// of the ring (an overload storm or a misbehaving client would flush
+// the interesting entries), but still count everywhere else.
+func (ro *reqObs) finish(err error) {
+	s := ro.s
+	out := outcomeName(err)
+	s.out.add(out)
+	ro.tr.Root().End()
+	dur := time.Since(ro.start)
+	s.met.requests.With(ro.endpoint, out).Inc()
+	s.met.reqSeconds.With(ro.endpoint).ObserveDuration(dur)
+
+	slow := s.slowThreshold() > 0 && dur >= s.slowThreshold()
+	ringWorthy := slow || (err != nil && out != "shed" && out != "invalid")
+	if ringWorthy {
+		rec := obs.RequestRecord{
+			TraceID:     ro.tr.ID(),
+			Time:        ro.start,
+			Endpoint:    ro.endpoint,
+			Tenant:      ro.tenant,
+			Fingerprint: ro.fingerprint,
+			Outcome:     out,
+			Duration:    dur,
+			N:           ro.n,
+			CacheHit:    ro.cacheHit,
+			Trace:       ro.tr.Snapshot(),
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		s.ring.Add(rec)
+	}
+
+	if lg := s.logger; lg != nil {
+		attrs := []slog.Attr{
+			slog.String("request_id", ro.tr.ID()),
+			slog.String("endpoint", ro.endpoint),
+			slog.String("tenant", ro.tenant),
+			slog.String("fingerprint", ro.fingerprint),
+			slog.String("outcome", out),
+			slog.Duration("duration", dur),
+			slog.Bool("cache_hit", ro.cacheHit),
+		}
+		if ro.endpoint == "sample" {
+			attrs = append(attrs, slog.Int("n", ro.n), slog.Int("witnesses", ro.witnesses))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.String("error", err.Error()))
+		}
+		level := slog.LevelInfo
+		msg := "request"
+		if slow {
+			// The slow-request record carries the full span breakdown,
+			// so "where did the time go" is answerable from one line.
+			level = slog.LevelWarn
+			msg = "slow request"
+			attrs = append(attrs, slog.Any("trace", ro.tr.Snapshot()))
+		}
+		lg.LogAttrs(context.Background(), level, msg, attrs...)
+	}
+}
+
+// slowThreshold resolves Config.SlowRequest: 0 defaults to 1s,
+// negative disables slow-request handling entirely.
+func (s *Service) slowThreshold() time.Duration {
+	if s.cfg.SlowRequest == 0 {
+		return time.Second
+	}
+	if s.cfg.SlowRequest < 0 {
+		return 0
+	}
+	return s.cfg.SlowRequest
+}
+
+// Registry exposes the metrics registry (the backing of GET /metrics)
+// for embedders that mount their own scrape endpoint or add their own
+// families alongside the service's.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// DebugRequests returns the retained slow/failed request records,
+// newest first — the backing of GET /debug/requests.
+func (s *Service) DebugRequests() []obs.RequestRecord { return s.ring.Snapshot() }
+
+// Uptime reports how long the service has existed.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }

@@ -51,6 +51,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/big"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,7 @@ import (
 	"unigen/internal/cnf"
 	"unigen/internal/core"
 	"unigen/internal/faultpoint"
+	"unigen/internal/obs"
 	"unigen/internal/parallel"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
@@ -121,6 +123,20 @@ type Config struct {
 	// MaxBodyBytes caps HTTP request bodies (default 64 MiB); larger
 	// payloads are rejected with 413 before any DIMACS parsing.
 	MaxBodyBytes int64
+
+	// Observability (DESIGN §10).
+
+	// Logger receives one structured record per finished request
+	// (request-id, tenant, fingerprint, outcome, duration) plus the
+	// daemon-facing warnings. nil disables service-layer logging —
+	// metrics and traces still work.
+	Logger *slog.Logger
+	// SlowRequest is the latency threshold beyond which a request is
+	// logged at Warn level with its full span breakdown and retained in
+	// the /debug/requests ring. 0 defaults to 1s; negative disables.
+	SlowRequest time.Duration
+	// DebugRequests bounds the /debug/requests ring (default 128).
+	DebugRequests int
 }
 
 // Service serves sample and count requests over a prepared-formula
@@ -130,6 +146,18 @@ type Service struct {
 	cache *prepCache
 	adm   *admission
 	out   outcomes
+
+	// Observability spine (DESIGN §10): the metrics registry behind
+	// GET /metrics, the per-request instruments, cumulative solver-work
+	// totals for sampling (work) and preparation flights (prep), the
+	// slow-request ring, and the per-request logger.
+	reg    *obs.Registry
+	met    *serviceMetrics
+	ring   *obs.RequestRing
+	logger *slog.Logger
+	work   workTotals
+	prep   workTotals
+	start  time.Time
 
 	mu       sync.Mutex // guards draining, active, activeSeq
 	idle     *sync.Cond // signalled when active drops to zero
@@ -158,13 +186,35 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.DebugRequests <= 0 {
+		cfg.DebugRequests = 128
+	}
 	s := &Service{
 		cfg:    cfg,
 		cache:  newPrepCache(cfg.CacheSize),
 		adm:    newAdmission(cfg),
 		active: map[uint64]context.CancelCauseFunc{},
+		reg:    obs.NewRegistry(),
+		ring:   obs.NewRequestRing(cfg.DebugRequests),
+		logger: cfg.Logger,
+		start:  time.Now(),
 	}
 	s.idle = sync.NewCond(&s.mu)
+	s.met = newServiceMetrics(s)
+	// Preparation flights report here when they finish, whichever
+	// request triggered them: solver-work totals for /stats and
+	// /metrics, the prepare-phase latency histogram, and the flight
+	// outcome counter. Accounting at the flight keeps single-flight
+	// preparations counted exactly once, not per co-waiter.
+	s.cache.onFlightDone = func(p *prepared, d time.Duration, err error) {
+		s.met.phaseSeconds.With("prepare").ObserveDuration(d)
+		if err != nil {
+			s.met.prepares.With("error").Inc()
+			return
+		}
+		s.met.prepares.With("ok").Inc()
+		s.prep.add(p.prepStats)
+	}
 	return s, nil
 }
 
@@ -196,6 +246,7 @@ type SampleResult struct {
 	CacheHit    bool             // true when the prepared formula was already cached
 	Fingerprint string           // canonical formula fingerprint, hex
 	Stats       core.Stats       // this request's sampling rounds only (no setup share)
+	TraceID     string           // phase-trace identifier (X-Unigen-Trace over HTTP)
 }
 
 // CountRequest asks for the prepared witness count of Formula.
@@ -214,6 +265,7 @@ type CountResult struct {
 	Exact       bool
 	CacheHit    bool
 	Fingerprint string
+	TraceID     string
 }
 
 // ErrInvalidRequest tags request-validation failures (non-positive or
@@ -229,27 +281,9 @@ const maxRequestWorkers = 64
 // split; each round is individually cancellable either way).
 const maxRequestSamples = 1 << 20
 
-// record classifies a finished request into the per-outcome totals.
-func (s *Service) record(err error) {
-	switch {
-	case err == nil:
-		s.out.ok.Add(1)
-	case errors.Is(err, ErrOverloaded):
-		s.out.shed.Add(1)
-	case errors.Is(err, ErrDraining):
-		s.out.drained.Add(1)
-	case errors.Is(err, ErrDeadline), errors.Is(err, ErrClientTimeout), errors.Is(err, core.ErrBudget):
-		s.out.timeout.Add(1)
-	case errors.Is(err, ErrPanic), errors.Is(err, parallel.ErrRoundPanic):
-		s.out.panics.Add(1)
-	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
-		s.out.invalid.Add(1)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.out.canceled.Add(1)
-	default:
-		s.out.errs.Add(1)
-	}
-}
+// isRoundPanic reports a panic recovered at the engine's round
+// boundary (kept here so obs.go need not import parallel directly).
+func isRoundPanic(err error) bool { return errors.Is(err, parallel.ErrRoundPanic) }
 
 // begin runs the request prologue shared by Sample and Count: the drain
 // gate, registration for drain interruption, admission, and the
@@ -402,34 +436,37 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 // with ErrOverloaded; a panic anywhere below returns ErrPanic instead
 // of unwinding into the caller.
 func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleResult, err error) {
-	if req.N <= 0 {
-		err = fmt.Errorf("%w: sample count must be positive", ErrInvalidRequest)
-		s.record(err)
-		return nil, err
-	}
-	if req.N > maxRequestSamples {
-		err = fmt.Errorf("%w: sample count %d exceeds the per-request limit %d", ErrInvalidRequest, req.N, maxRequestSamples)
-		s.record(err)
-		return nil, err
-	}
-	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
-	if err != nil {
-		s.record(err)
-		return nil, err
-	}
+	ctx, ro := s.startRequest(ctx, "sample", req.Tenant)
+	ro.n = req.N
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
 		}
-		finish()
-		s.record(err)
+		ro.finish(err)
 	}()
+	if req.N <= 0 {
+		return nil, fmt.Errorf("%w: sample count must be positive", ErrInvalidRequest)
+	}
+	if req.N > maxRequestSamples {
+		return nil, fmt.Errorf("%w: sample count %d exceeds the per-request limit %d", ErrInvalidRequest, req.N, maxRequestSamples)
+	}
+	asp := ro.tr.Root().StartSpan("admission")
+	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
+	asp.End()
+	if err != nil {
+		return nil, err
+	}
+	defer finish()
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
+	psp := ro.tr.Root().StartSpan("prepare")
 	prep, hit, err := s.prepare(ctx, req.Formula)
+	psp.SetInt("cache_hit", boolInt(hit))
+	psp.End()
 	if err != nil {
 		return nil, requestErr(ctx, err)
 	}
+	ro.fingerprint, ro.cacheHit = prep.fingerprint, hit
 	prep.requests.Add(1)
 	workers := req.Workers
 	if workers <= 0 {
@@ -443,18 +480,42 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 		MasterSeed: req.Seed,
 		Core:       core.Options{Solver: sat.Config{MaxConflicts: req.MaxConflicts}},
 	})
-	ws, err := eng.SampleN(ctx, req.N)
+	// The rounds span parents the engine's per-round (and per-cell)
+	// spans via the context; the solver-work delta of exactly this
+	// request feeds the cumulative totals whether or not it succeeds.
+	rsp := ro.tr.Root().StartSpan("rounds")
+	roundsStart := time.Now()
+	ws, err := eng.SampleN(obs.WithSpan(ctx, rsp), req.N)
+	st := eng.Stats()
+	s.work.add(st)
+	rsp.SetInt("rounds", st.Rounds())
+	rsp.SetInt("bsat_calls", st.BSATCalls)
+	rsp.SetInt("conflicts", st.Conflicts)
+	rsp.SetInt("propagations", st.Propagations)
+	rsp.End()
+	s.met.phaseSeconds.With("rounds").ObserveDuration(time.Since(roundsStart))
 	if err != nil {
 		return nil, requestErr(ctx, err)
 	}
 	prep.samples.Add(int64(len(ws)))
+	s.met.witnesses.Add(int64(len(ws)))
+	ro.witnesses = len(ws)
 	return &SampleResult{
 		Vars:        prep.setup.SamplingSet(),
 		Witnesses:   ws,
 		CacheHit:    hit,
 		Fingerprint: prep.fingerprint,
-		Stats:       eng.Stats(),
+		Stats:       st,
+		TraceID:     ro.tr.ID(),
 	}, nil
+}
+
+// boolInt renders a bool as a span counter value.
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Count returns the prepared witness count. On a hit this is a pure
@@ -462,28 +523,34 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 // panic isolation apply exactly as for Sample (a miss triggers a
 // preparation, which is the expensive path worth guarding).
 func (s *Service) Count(ctx context.Context, req CountRequest) (res *CountResult, err error) {
-	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
-	if err != nil {
-		s.record(err)
-		return nil, err
-	}
+	ctx, ro := s.startRequest(ctx, "count", req.Tenant)
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
 		}
-		finish()
-		s.record(err)
+		ro.finish(err)
 	}()
+	asp := ro.tr.Root().StartSpan("admission")
+	ctx, finish, err := s.begin(ctx, req.Tenant, req.Timeout)
+	asp.End()
+	if err != nil {
+		return nil, err
+	}
+	defer finish()
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
+	psp := ro.tr.Root().StartSpan("prepare")
 	prep, hit, err := s.prepare(ctx, req.Formula)
+	psp.SetInt("cache_hit", boolInt(hit))
+	psp.End()
 	if err != nil {
 		return nil, requestErr(ctx, err)
 	}
+	ro.fingerprint, ro.cacheHit = prep.fingerprint, hit
 	prep.requests.Add(1)
 	prep.counts.Add(1)
 	c, exact := prep.setup.WitnessCount()
-	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint}, nil
+	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint, TraceID: ro.tr.ID()}, nil
 }
 
 // HealthState is the coarse health signal /healthz reports.
@@ -559,20 +626,28 @@ func (s *Service) Close(ctx context.Context) error {
 
 // Stats is the full observability snapshot behind /stats: the
 // prepared-formula cache, the admission gate, the per-outcome request
-// totals, and the health state.
+// totals, the cumulative solver-work totals (sampling work across
+// finished requests, and preparation flights separately — the numbers
+// that used to be computed per request and dropped), and the health
+// state.
 type Stats struct {
 	CacheStats
 	Admission AdmissionStats `json:"admission"`
 	Outcomes  OutcomeStats   `json:"outcomes"`
+	Solver    SolverTotals   `json:"solver"`  // sampling-phase work across finished requests
+	Prepare   SolverTotals   `json:"prepare"` // preparation-flight work
 	State     HealthState    `json:"state"`
 }
 
-// Stats snapshots the cache, admission gate, and outcome counters.
+// Stats snapshots the cache, admission gate, outcome counters, and
+// cumulative solver-work totals.
 func (s *Service) Stats() Stats {
 	return Stats{
 		CacheStats: s.cache.stats(),
 		Admission:  s.adm.snapshot(),
 		Outcomes:   s.out.snapshot(),
+		Solver:     s.work.snapshot(),
+		Prepare:    s.prep.snapshot(),
 		State:      s.Health(),
 	}
 }

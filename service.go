@@ -2,6 +2,7 @@ package unigen
 
 import (
 	"context"
+	"log/slog"
 	"math/big"
 	"net/http"
 	"time"
@@ -62,6 +63,21 @@ type ServiceOptions struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes caps HTTP request bodies (default 64 MiB).
 	MaxBodyBytes int64
+
+	// Observability (zero values keep sane defaults: discarded logs, 1s
+	// slow-request threshold, 128 retained debug records).
+
+	// Logger receives one structured record per finished request (nil
+	// discards them). Slow or failed requests log at Warn with their
+	// full span breakdown attached.
+	Logger *slog.Logger
+	// SlowRequest is the duration past which a request is logged at Warn
+	// with its span tree and retained at /debug/requests (0 = 1s,
+	// negative = disabled).
+	SlowRequest time.Duration
+	// DebugRequests bounds the in-memory ring of recent slow/failed
+	// requests served at /debug/requests (0 = 128).
+	DebugRequests int
 }
 
 // Service is the embeddable sampling-as-a-service engine: a
@@ -98,6 +114,9 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		PrepareTimeout:  opts.PrepareTimeout,
 		RetryAfter:      opts.RetryAfter,
 		MaxBodyBytes:    opts.MaxBodyBytes,
+		Logger:          opts.Logger,
+		SlowRequest:     opts.SlowRequest,
+		DebugRequests:   opts.DebugRequests,
 	})
 	if err != nil {
 		return nil, err
@@ -136,8 +155,12 @@ func (s *Service) Count(ctx context.Context, f *Formula) (*big.Int, bool, error)
 
 // Handler returns the HTTP transport of this service (the same routes
 // cmd/unigend serves): POST /sample, POST /count, GET /healthz,
-// GET /stats.
+// GET /stats, GET /metrics, GET /debug/requests.
 func (s *Service) Handler() http.Handler { return service.NewHandler(s.inner) }
+
+// MetricsHandler serves just the Prometheus /metrics exposition —
+// for mounting on a separate debug listener alongside pprof.
+func (s *Service) MetricsHandler() http.Handler { return service.MetricsHandler(s.inner) }
 
 // Close drains the service: new requests are rejected immediately,
 // in-flight requests run to completion, and any still running when ctx
@@ -163,6 +186,8 @@ type ServiceStats struct {
 
 	Admission service.AdmissionStats // concurrency gate snapshot
 	Outcomes  service.OutcomeStats   // finished requests by outcome
+	Solver    service.SolverTotals   // cumulative solver work of finished sampling
+	Prepare   service.SolverTotals   // cumulative solver work of preparation flights
 	State     string                 // "ok" | "overloaded" | "draining"
 }
 
@@ -186,6 +211,8 @@ func (s *Service) Stats() ServiceStats {
 		Capacity:  st.Capacity,
 		Admission: st.Admission,
 		Outcomes:  st.Outcomes,
+		Solver:    st.Solver,
+		Prepare:   st.Prepare,
 		State:     string(st.State),
 	}
 	for _, f := range st.Formulas {

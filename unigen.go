@@ -255,6 +255,7 @@ type Stats struct {
 	Rounds       int64   // sampling rounds attempted (Samples + Failures)
 	BSATCalls    int64   // bounded-enumeration solver calls issued
 	XORRows      int64   // hash XOR rows issued
+	Conflicts    int64   // solver conflicts across the sampling BSAT calls
 	Propagations int64   // solver propagations across the sampling BSAT calls
 	Learned      int64   // clauses learned across the sampling BSAT calls
 	Removed      int64   // learned clauses reclaimed (reduceDB + session GC)
@@ -280,6 +281,7 @@ func (s *Sampler) Stats() Stats {
 		Rounds:       st.Rounds(),
 		BSATCalls:    st.BSATCalls,
 		XORRows:      st.XORRows,
+		Conflicts:    st.Conflicts,
 		Propagations: st.Propagations,
 		Learned:      st.Learned,
 		Removed:      st.Removed,

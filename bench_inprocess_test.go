@@ -1,0 +1,99 @@
+// BenchmarkInprocess (experiment E15 of DESIGN.md §4) measures the
+// inprocessing + modern-CDCL feature set end to end on the per-cell
+// enumeration pattern of E10: draw an m-row XOR hash, enumerate up to
+// hiThresh+1 witnesses on an incremental session, repeat. The "off"
+// variant is the PR-7 baseline configuration; "on" adds session-boundary
+// inprocessing (vivification, failed-literal probing, learnt
+// subsumption), the dirty-window packed XOR scan, target-phase
+// rephasing, and chronological backtracking. The differential batteries
+// in internal/sat and internal/bsat pin that both variants enumerate
+// identical witness sets, so ns/op and conflicts/call isolate the
+// search-effort effect. The E15 acceptance gauge is ≥ 15% reduction in
+// µs/call or conflicts/call on a full-support regime.
+package unigen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"unigen/internal/benchgen"
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/hashfam"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// benchInprocessCfg is the tuned "on" configuration: inprocess every 4
+// cells with budgets large enough to sweep the whole base formula
+// (vivification keeps shortening blocking and base clauses as the
+// session ages), rephase every 8 restarts, allow chronological
+// backtracking for backjumps shorter than 64 levels, and scan packed
+// XOR rows through the dirty window.
+func benchInprocessCfg() sat.Config {
+	cfg := benchSolverCfg()
+	cfg.InprocessEvery = 4
+	cfg.VivifyBudget = 200000
+	cfg.ProbeBudget = 200000
+	cfg.DirtyWindow = true
+	cfg.RephaseEvery = 8
+	cfg.ChronoBacktrack = 64
+	return cfg
+}
+
+func BenchmarkInprocess(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		m       int  // hash bits per cell
+		fullSup bool // hash over the full support instead of the sampling set
+	}{
+		// UniGen regime: short rows over the independent support.
+		{"EnqueueSeqSK", 8, false},
+		{"case110", 8, false},
+		// Full-support regime (the E15 acceptance rows): long rows, m
+		// past log₂|R_F|, mostly empty-cell UNSAT proofs — the workload
+		// where conflict-clause quality and XOR scan width dominate.
+		{"EnqueueSeqSK-fullsup", 16, true},
+		{"case110-fullsup", 16, true},
+	} {
+		inst, err := benchgen.Generate(strings.TrimSuffix(tc.name, "-fullsup"), benchgen.ScaleSmall, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hashVars := inst.F.SamplingVars()
+		if tc.fullSup {
+			hashVars = make([]cnf.Var, inst.F.NumVars)
+			for i := range hashVars {
+				hashVars[i] = cnf.Var(i + 1)
+			}
+		}
+		const hiThresh = 88
+		for _, variant := range []struct {
+			name string
+			cfg  sat.Config
+		}{
+			{"off", benchSolverCfg()},
+			{"on", benchInprocessCfg()},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, variant.name), func(b *testing.B) {
+				rng := randx.New(benchSeed)
+				sess := bsat.NewSession(inst.F, bsat.Options{Solver: variant.cfg})
+				var conflicts, props int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					h := hashfam.Draw(rng, hashVars, tc.m)
+					res := sess.Enumerate(hiThresh, h)
+					if res.BudgetExceeded {
+						b.Fatal("budget exceeded")
+					}
+					conflicts += res.Stats.Conflicts
+					props += res.Stats.Propagations
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/call")
+				b.ReportMetric(float64(props)/float64(b.N), "props/call")
+			})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package bsat
+
+import (
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/hashfam"
+	"unigen/internal/randx"
+	"unigen/internal/sat"
+)
+
+// inprocSolver is the all-knobs-on solver config used by the session
+// lifetime tests: inprocess on every call so each cell boundary runs
+// vivification/probing/subsumption against the arena the next call's
+// removable constraints and Release bookkeeping depend on.
+func inprocSolver(seed uint64) sat.Config {
+	return sat.Config{
+		Seed:            seed,
+		InprocessEvery:  1,
+		DirtyWindow:     true,
+		RephaseEvery:    2,
+		ChronoBacktrack: 2,
+	}
+}
+
+// TestSessionInprocessingMatchesEnumerate is the session-lifetime
+// differential: a Session that inprocesses at every cell boundary must
+// keep serving exactly the witness sets a fresh stateless Enumerate
+// (no inprocessing) reports, call after call — proving Release and the
+// selector bookkeeping survive vivification and subsumption rewriting
+// the clause arena underneath them.
+func TestSessionInprocessingMatchesEnumerate(t *testing.T) {
+	rng := randx.New(0x1bca)
+	var probed int64
+	for iter := 0; iter < 60; iter++ {
+		n := 4 + rng.Intn(6)
+		f := randomFormula(rng, n)
+		vars := f.SamplingVars()
+		bound := (1 << uint(len(vars))) + 1
+		sess := NewSession(f, Options{Solver: inprocSolver(uint64(iter))})
+		for call, calls := 0, 3+rng.Intn(8); call < calls; call++ {
+			var h *hashfam.Hash
+			if rng.Intn(4) != 0 {
+				h = hashfam.Draw(rng, vars, 1+rng.Intn(len(vars)))
+			}
+			got := sess.Enumerate(bound, h)
+			probed += got.Stats.ProbedLits
+			want := Enumerate(f, bound, Options{Hash: h, Solver: sat.Config{Seed: uint64(iter)}})
+			if got.Exhausted != want.Exhausted || got.BudgetExceeded != want.BudgetExceeded {
+				t.Fatalf("iter %d call %d: flags (exhausted %v, budget %v), want (%v, %v)",
+					iter, call, got.Exhausted, got.BudgetExceeded,
+					want.Exhausted, want.BudgetExceeded)
+			}
+			gk := witnessKeys(t, got.Witnesses, vars)
+			wk := witnessKeys(t, want.Witnesses, vars)
+			if !equalKeys(gk, wk) {
+				t.Fatalf("iter %d call %d: inprocessing session found %d witnesses, fresh %d\n%s",
+					iter, call, len(gk), len(wk), cnf.DIMACSString(f))
+			}
+			for wi, w := range got.Witnesses {
+				if !w.Satisfies(f) {
+					t.Fatalf("iter %d call %d: witness %d violates F after inprocessing", iter, call, wi)
+				}
+				if h != nil && !h.Evaluate(w) {
+					t.Fatalf("iter %d call %d: witness %d outside hash cell", iter, call, wi)
+				}
+			}
+		}
+	}
+	if probed == 0 {
+		t.Fatal("sessions never ran an inprocessing probe — the differential tested nothing")
+	}
+}
+
+// TestDirtyWindowBitIdentical pins the dirty-window contract: skipping
+// the fully-assigned level-0 prefix of packed XOR rows must not change
+// a single decision, so the witness *sequences* (order included) of two
+// sessions differing only in DirtyWindow are identical.
+func TestDirtyWindowBitIdentical(t *testing.T) {
+	rng := randx.New(0xd1f7)
+	for iter := 0; iter < 40; iter++ {
+		n := 5 + rng.Intn(6)
+		f := randomFormula(rng, n)
+		vars := f.SamplingVars()
+		bound := 1 << uint(len(vars))
+
+		cfgOn := sat.Config{Seed: uint64(iter), DirtyWindow: true}
+		cfgOff := sat.Config{Seed: uint64(iter)}
+		on := NewSession(f, Options{Solver: cfgOn})
+		off := NewSession(f, Options{Solver: cfgOff})
+		hashRNG1 := randx.New(uint64(iter) * 7)
+		hashRNG2 := randx.New(uint64(iter) * 7)
+		for call := 0; call < 5; call++ {
+			var h1, h2 *hashfam.Hash
+			if call%3 != 0 {
+				h1 = hashfam.Draw(hashRNG1, vars, 1+call%len(vars))
+				h2 = hashfam.Draw(hashRNG2, vars, 1+call%len(vars))
+			}
+			a := on.Enumerate(bound, h1)
+			b := off.Enumerate(bound, h2)
+			if len(a.Witnesses) != len(b.Witnesses) || a.Exhausted != b.Exhausted {
+				t.Fatalf("iter %d call %d: dirty window changed outcomes (%d/%v vs %d/%v)",
+					iter, call, len(a.Witnesses), a.Exhausted, len(b.Witnesses), b.Exhausted)
+			}
+			for wi := range a.Witnesses {
+				if a.Witnesses[wi].Project(vars) != b.Witnesses[wi].Project(vars) {
+					t.Fatalf("iter %d call %d: witness %d differs with dirty window on", iter, call, wi)
+				}
+			}
+		}
+	}
+}

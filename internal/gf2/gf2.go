@@ -53,19 +53,35 @@ func (r Row) Set(c int) { r.Bits[c>>6] |= 1 << uint(c&63) }
 func (r Row) Flip(c int) { r.Bits[c>>6] ^= 1 << uint(c&63) }
 
 // Xor adds row o into r (word-wide row elimination step). o must not be
-// wider than r.
+// wider than r. The loop runs 4 words per iteration: row elimination over
+// wide sampling sets is the Gauss–Jordan hot path and the unroll keeps it
+// bound on memory bandwidth rather than loop overhead.
 func (r *Row) Xor(o Row) {
-	for w, b := range o.Bits {
-		r.Bits[w] ^= b
+	a, b := r.Bits[:len(o.Bits)], o.Bits
+	w := 0
+	for ; w+4 <= len(b); w += 4 {
+		a[w] ^= b[w]
+		a[w+1] ^= b[w+1]
+		a[w+2] ^= b[w+2]
+		a[w+3] ^= b[w+3]
+	}
+	for ; w < len(b); w++ {
+		a[w] ^= b[w]
 	}
 	r.RHS = r.RHS != o.RHS
 }
 
 // Len returns the number of set coefficients (the row's variable count).
 func (r Row) Len() int {
+	b := r.Bits
 	n := 0
-	for _, b := range r.Bits {
-		n += bits.OnesCount64(b)
+	w := 0
+	for ; w+4 <= len(b); w += 4 {
+		n += bits.OnesCount64(b[w]) + bits.OnesCount64(b[w+1]) +
+			bits.OnesCount64(b[w+2]) + bits.OnesCount64(b[w+3])
+	}
+	for ; w < len(b); w++ {
+		n += bits.OnesCount64(b[w])
 	}
 	return n
 }
@@ -105,9 +121,14 @@ func (r Row) ForEachSet(fn func(c int)) {
 // (e.g. row bits against the assigned-true mask). b must be at least as
 // long as a.
 func ParityAnd(a, b []uint64) bool {
+	b = b[:len(a)]
 	var acc uint64
-	for w, x := range a {
-		acc ^= x & b[w]
+	w := 0
+	for ; w+4 <= len(a); w += 4 {
+		acc ^= a[w]&b[w] ^ a[w+1]&b[w+1] ^ a[w+2]&b[w+2] ^ a[w+3]&b[w+3]
+	}
+	for ; w < len(a); w++ {
+		acc ^= a[w] & b[w]
 	}
 	return bits.OnesCount64(acc)&1 == 1
 }

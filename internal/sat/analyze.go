@@ -1,10 +1,22 @@
 package sat
 
-import "unigen/internal/cnf"
+import (
+	"math/bits"
+
+	"unigen/internal/cnf"
+)
 
 // analyze performs first-UIP conflict analysis, returning the learned
 // clause (asserting literal first), the backtrack level, and the LBD
 // (number of distinct decision levels in the learned clause).
+//
+// Reasons that are packed XOR rows are walked bit-by-bit in place
+// instead of being materialized through xorFalseClause: on hash-heavy
+// workloads a reason row covers half the support, and rendering ~|X|/2
+// literals per resolution step (then reading them back once) dominated
+// analysis time. The in-place walk visits the same variables in the
+// same order, so activities, the learned clause, and the search
+// trajectory are bit-identical to the materialized path.
 func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 	learnt = s.analyzeLearnt[:0] // scratch reused across conflicts
 	learnt = append(learnt, 0)   // placeholder for the asserting literal
@@ -12,6 +24,7 @@ func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 	var p cnf.Lit
 	idx := len(s.trail) - 1
 	reasonLits := confl.lits
+	xorReason := int32(-1) // ≥ 0: walk s.xors[xorReason] in place instead
 	if confl.cr != crefUndef {
 		// Arena conflict: materialize into the conflict scratch (unused
 		// in this case — XOR/binary conflicts arrive pre-materialized).
@@ -22,21 +35,54 @@ func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 		}
 	}
 	toClear := s.analyzeSeen[:0]
+	dl := s.decisionLevel()
 	for {
-		start := 0
-		if p != 0 {
-			start = 1 // skip the implied literal itself
-		}
-		for _, q := range reasonLits[start:] {
-			v := q.Var()
-			if s.seen[v] == 0 && s.level[v] > 0 {
-				s.seen[v] = 1
-				toClear = append(toClear, v)
-				s.bumpVar(v)
-				if s.level[v] >= s.decisionLevel() {
-					pathC++
-				} else {
-					learnt = append(learnt, q)
+		if xorReason >= 0 {
+			// In-place packed-row walk; p's own variable is skipped, the
+			// rest visit in ascending column order — exactly the order
+			// xorFalseClause(buf, xi, p.Var()) would render them.
+			x := &s.xors[xorReason]
+			off := int(x.off)
+			pv := p.Var()
+			for w, b := range x.bits {
+				// Level-0 columns render as literals the generic body skips
+				// by level; drop whole words of them up front.
+				b &^= s.xAssignedL0[off+w]
+				tw := s.xTrue[off+w]
+				for b != 0 {
+					k := b & (-b)
+					c := (off+w)<<6 | bits.TrailingZeros64(b)
+					b &^= k
+					xv := s.xvarOf[c]
+					if xv == pv || s.seen[xv] != 0 {
+						continue
+					}
+					s.seen[xv] = 1
+					toClear = append(toClear, xv)
+					s.bumpVar(xv)
+					if s.level[xv] >= dl {
+						pathC++
+					} else {
+						learnt = append(learnt, cnf.MkLit(xv, tw&k != 0))
+					}
+				}
+			}
+		} else {
+			start := 0
+			if p != 0 {
+				start = 1 // skip the implied literal itself
+			}
+			for _, q := range reasonLits[start:] {
+				v := q.Var()
+				if s.seen[v] == 0 && s.level[v] > 0 {
+					s.seen[v] = 1
+					toClear = append(toClear, v)
+					s.bumpVar(v)
+					if s.level[v] >= dl {
+						pathC++
+					} else {
+						learnt = append(learnt, q)
+					}
 				}
 			}
 		}
@@ -51,6 +97,11 @@ func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 			break
 		}
 		r := s.reasons[p.Var()]
+		if r.tag == reasonXOR && s.xors[r.ref].bits != nil {
+			xorReason = int32(r.ref)
+			continue
+		}
+		xorReason = -1
 		reasonLits = s.reasonLitsFor(p.Var())
 		if r.tag == reasonClause && s.ca.learnt(r.ref) {
 			s.bumpClause(r.ref)
@@ -108,9 +159,33 @@ func (s *Solver) analyze(confl conflict) (learnt []cnf.Lit, btLevel, lbd int) {
 
 // litRedundant reports whether literal l is implied by the other
 // (seen-marked) literals of the learned clause: every literal of its
-// reason is either assigned at level 0 or already marked seen.
+// reason is either assigned at level 0 or already marked seen. Packed
+// XOR reasons are scanned in place with early exit — same verdict as
+// materializing the row, without rendering ~row-length literals per
+// candidate.
 func (s *Solver) litRedundant(l cnf.Lit) bool {
-	rl := s.reasonLitsFor(l.Var())
+	lv := l.Var()
+	if r := s.reasons[lv]; r.tag == reasonXOR {
+		if x := &s.xors[r.ref]; x.bits != nil {
+			off := int(x.off)
+			for w, b := range x.bits {
+				b &^= s.xAssignedL0[off+w] // level-0 literals are skipped anyway
+				for b != 0 {
+					c := (off+w)<<6 | bits.TrailingZeros64(b)
+					b &= b - 1
+					xv := s.xvarOf[c]
+					if xv == lv {
+						continue
+					}
+					if s.seen[xv] == 0 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	rl := s.reasonLitsFor(lv)
 	for _, q := range rl[1:] {
 		v := q.Var()
 		if s.level[v] == 0 {

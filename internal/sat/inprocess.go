@@ -1,0 +1,428 @@
+package sat
+
+import "unigen/internal/cnf"
+
+// Inprocessing: simplification of the session-persistent clause database
+// between BSAT calls — failed-literal probing, clause vivification, and
+// learnt subsumption / self-subsuming strengthening. All three derive
+// only logical consequences of the current database, so they are sound
+// to apply permanently, but the incremental-session machinery imposes
+// two extra rules:
+//
+//   - No pass runs while a removable XOR row is live (liveXorSels > 0) or
+//     the level-0 state is tainted. A derived level-0 unit could otherwise
+//     fix an XOR-guard selector and flip a live row's parity for the rest
+//     of the solver's lifetime — exactly the hazard Solver.taintL0 guards
+//     in recordLearnt. bsat sessions call Inprocess right after releasing
+//     a cell's constraints, when no removable row exists. (Unreleased
+//     *clause* selectors are harmless: learnts only ever contain their
+//     negated activation literals, so subsumption resolution can never
+//     pivot on a selector variable, and any derived unit is a consequence
+//     of the base formula plus the guard definitions — a conservative
+//     extension of the base formula.)
+//   - Everything is skipped under RecordProof: the passes delete and
+//     rewrite clauses, which a DRUP additions-only trace cannot express
+//     without deletion lines the checker does not consume.
+//
+// Budgets are propagation- (probing, vivification) or inspection-counted
+// (subsumption), with rolling cursors so successive session-boundary
+// passes cover the whole database even when each individual pass is
+// small.
+
+// Default budgets when the corresponding Config field is 0.
+const (
+	probeBudgetDefault   = 20000  // propagations per probing pass
+	vivifyBudgetDefault  = 20000  // propagations per vivification pass
+	subsumeBudgetDefault = 200000 // literal inspections per subsumption pass
+)
+
+// subEntry is subsumeLearnts's snapshot of one live learnt clause: its
+// arena address, a Bloom-style variable-set abstraction (bit v&63), and
+// its size. dead marks clauses deleted or replaced during the pass.
+type subEntry struct {
+	cr   CRef
+	abst uint64
+	size int32
+	dead bool
+}
+
+// Inprocess runs one budgeted simplification pass: probing, then
+// vivification, then learnt subsumption. It must be called at decision
+// level 0 between Solve calls, with no removable XOR constraints live —
+// bsat sessions invoke it at cell boundaries right after Release. The
+// call is a no-op whenever any precondition fails, so callers need no
+// guard of their own.
+func (s *Solver) Inprocess() {
+	if !s.ok || s.brokenL0 || s.taintL0 || s.cfg.RecordProof ||
+		s.decisionLevel() != 0 || s.liveXorSels > 0 {
+		return
+	}
+	s.probeFailedLiterals()
+	if !s.ok {
+		return
+	}
+	s.vivifyClauses()
+	if !s.ok {
+		return
+	}
+	s.subsumeLearnts(subsumeBudgetDefault)
+}
+
+// probeFailedLiterals probes both polarities of unassigned non-selector
+// variables at level 0: assert the literal, propagate, and if that
+// conflicts the literal's negation is a level-0 unit. Each derived unit
+// shrinks the search space permanently and feeds the packed engine's
+// dirty windows. A rolling cursor spreads coverage across passes.
+func (s *Solver) probeFailedLiterals() {
+	budget := s.cfg.ProbeBudget
+	if budget <= 0 {
+		budget = probeBudgetDefault
+	}
+	stop := s.stats.Propagations + budget
+	n := s.numVars
+	for tried := 0; tried < n; tried++ {
+		if s.stats.Propagations >= stop || !s.ok {
+			return
+		}
+		s.probeCursor++
+		if s.probeCursor > n {
+			s.probeCursor = 1
+		}
+		v := cnf.Var(s.probeCursor)
+		if s.assigns[v] != lUndef || s.isSelector[v] != selNone {
+			continue
+		}
+		for pol := 0; pol < 2 && s.assigns[v] == lUndef; pol++ {
+			l := cnf.MkLit(v, pol == 1)
+			s.stats.ProbedLits++
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.uncheckedEnqueue(l, reason{})
+			confl := s.propagate()
+			s.cancelUntil(0)
+			if !confl.none() {
+				s.stats.FailedLits++
+				if !s.addUnit(l.Not()) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// vivifyClauses runs distillation over the problem clauses: for each
+// clause, assert the negations of its literals one at a time; if the
+// prefix alone already implies one of the remaining literals (or
+// conflicts), the clause shrinks to that prefix. Level-0-false literals
+// are dropped along the way and level-0-satisfied clauses deleted. A
+// rolling cursor plus the propagation budget bound each pass.
+func (s *Solver) vivifyClauses() {
+	budget := s.cfg.VivifyBudget
+	if budget <= 0 {
+		budget = vivifyBudgetDefault
+	}
+	stop := s.stats.Propagations + budget
+	if len(s.clauses) == 0 {
+		return
+	}
+	// Clauses acting as level-0 reasons must stay intact (the trail
+	// holds exactly the level-0 assignments here).
+	s.markTrailReasons(true)
+	for tried, n := 0, len(s.clauses); tried < n; tried++ {
+		if s.stats.Propagations >= stop || !s.ok {
+			break
+		}
+		if s.vivCursor >= len(s.clauses) {
+			s.vivCursor = 0
+		}
+		cr := s.clauses[s.vivCursor]
+		s.vivCursor++
+		if s.ca.deleted(cr) || s.ca.marked(cr) {
+			continue
+		}
+		s.vivifyOne(cr, stop)
+	}
+	s.markTrailReasons(false)
+	// Purge tombstones so the problem index (a compaction root) does not
+	// pin dead blocks across GC cycles.
+	w := 0
+	for _, cr := range s.clauses {
+		if !s.ca.deleted(cr) {
+			s.clauses[w] = cr
+			w++
+		}
+	}
+	s.clauses = s.clauses[:w]
+}
+
+// vivifyOne distills a single problem clause. stop is the cumulative
+// propagation limit; when it is hit mid-clause the untested tail is kept
+// verbatim (only always-sound level-0 drops are applied).
+func (s *Solver) vivifyOne(cr CRef, stop int64) {
+	b := s.ca.litBase(cr)
+	size := s.ca.size(cr)
+	all := s.vivAll[:0]
+	for _, w := range s.ca.store[b : b+size] {
+		l := cnf.Lit(w)
+		switch s.value(l) {
+		case lTrue:
+			// Satisfied at level 0 (everything assigned here is level 0):
+			// the clause is permanently redundant.
+			s.deleteClause(cr)
+			s.vivAll = all
+			return
+		case lFalse:
+			continue // falsified at level 0: drop the literal
+		}
+		all = append(all, l)
+	}
+	s.vivAll = all
+
+	// Probe: detach first so the clause cannot propagate against itself,
+	// then assert literal negations left to right.
+	s.detachClause(cr)
+	s.trailLim = append(s.trailLim, len(s.trail))
+	keep := s.vivKeep[:0]
+	truncated := false
+probe:
+	for i, l := range all {
+		if s.stats.Propagations >= stop {
+			keep = append(keep, all[i:]...) // untested tail stays
+			break
+		}
+		switch s.value(l) {
+		case lTrue:
+			// ¬(prefix) already implies l: the clause shrinks to prefix ∨ l.
+			keep = append(keep, l)
+			truncated = i < len(all)-1
+			break probe
+		case lFalse:
+			truncated = true // implied false by the prefix: redundant
+			continue
+		}
+		keep = append(keep, l)
+		s.uncheckedEnqueue(l.Not(), reason{})
+		if confl := s.propagate(); !confl.none() {
+			// The prefix alone is contradictory: it is the whole clause.
+			truncated = i < len(all)-1
+			break probe
+		}
+	}
+	s.cancelUntil(0)
+	s.vivKeep = keep
+
+	if !truncated && len(keep) == size {
+		// Nothing learned: reattach the original watches.
+		s.attach(cr)
+		return
+	}
+	s.stats.VivifiedLits += int64(size - len(keep))
+	s.ca.del(cr) // already detached; no dirtyWatch entry needed
+	switch len(keep) {
+	case 0:
+		s.ok = false
+	case 1:
+		s.addUnit(keep[0])
+	case 2:
+		// Like AddClause, a binary lives only in its watchers from now on.
+		s.attachBinary(keep[0], keep[1])
+	default:
+		nc := s.ca.alloc(keep, false, 0, 0)
+		s.clauses = append(s.clauses, nc)
+		s.attach(nc)
+	}
+}
+
+// subsumeLearnts removes learnt clauses subsumed by another learnt and
+// strengthens learnts by self-subsuming resolution (C = A∨l, D ⊇ A∨¬l
+// ⇒ drop ¬l from D). Candidate pairs come from per-variable occurrence
+// lists filtered by a 64-bit variable-set abstraction; budget counts
+// literal inspections. Runs at level 0 only — from Inprocess and from
+// reduceDB right after a restart.
+func (s *Solver) subsumeLearnts(budget int64) {
+	if len(s.learnts) < 2 || s.taintL0 {
+		return
+	}
+	s.markTrailReasons(true)
+	defer s.markTrailReasons(false)
+
+	// Snapshot the live, unlocked learnts and build occurrence lists over
+	// their variables. subOcc persists across passes (grown, then reset
+	// sparsely below) so the steady state allocates nothing but entries.
+	ents := s.subEnts[:0]
+	for len(s.subOcc) <= s.numVars {
+		s.subOcc = append(s.subOcc, nil)
+	}
+	for _, cr := range s.learnts {
+		if s.ca.deleted(cr) || s.ca.marked(cr) {
+			continue
+		}
+		b, size := s.ca.litBase(cr), s.ca.size(cr)
+		var abst uint64
+		for _, w := range s.ca.store[b : b+size] {
+			v := cnf.Lit(w).Var()
+			abst |= 1 << uint(v&63)
+			s.subOcc[v] = append(s.subOcc[v], int32(len(ents)))
+		}
+		ents = append(ents, subEntry{cr: cr, abst: abst, size: int32(size)})
+	}
+	s.subEnts = ents
+	defer func() {
+		for i := range ents {
+			b, size := s.ca.litBase(ents[i].cr), s.ca.size(ents[i].cr)
+			for _, w := range s.ca.store[b : b+size] {
+				v := cnf.Lit(w).Var()
+				s.subOcc[v] = s.subOcc[v][:0]
+			}
+		}
+	}()
+
+	for ci := range ents {
+		if budget <= 0 || !s.ok {
+			break
+		}
+		c := &ents[ci]
+		if c.dead {
+			continue
+		}
+		cb, csize := s.ca.litBase(c.cr), int(c.size)
+		clits := s.ca.store[cb : cb+csize]
+		// Probe the occurrence list of C's rarest variable; every clause
+		// containing all of C's variables must appear there.
+		minV := cnf.Lit(clits[0]).Var()
+		for _, w := range clits[1:] {
+			if v := cnf.Lit(w).Var(); len(s.subOcc[v]) < len(s.subOcc[minV]) {
+				minV = v
+			}
+		}
+		// Mark C's literals: 1 = positive occurrence, 2 = negative.
+		for _, w := range clits {
+			l := cnf.Lit(w)
+			if l.Neg() {
+				s.seen[l.Var()] = 2
+			} else {
+				s.seen[l.Var()] = 1
+			}
+		}
+		for _, di := range s.subOcc[minV] {
+			if !s.ok || budget <= 0 {
+				break
+			}
+			if int(di) == ci {
+				continue
+			}
+			d := &ents[di]
+			if d.dead || d.size < c.size || c.abst&^d.abst != 0 {
+				continue
+			}
+			db, dsize := s.ca.litBase(d.cr), int(d.size)
+			budget -= int64(dsize)
+			found := 0
+			neg := cnf.Lit(0)
+			for _, w := range s.ca.store[db : db+dsize] {
+				dl := cnf.Lit(w)
+				code := byte(1)
+				if dl.Neg() {
+					code = 2
+				}
+				switch s.seen[dl.Var()] {
+				case code:
+					found++
+				case 0:
+				default: // opposite polarity
+					if neg != 0 {
+						found = -len(clits) // two pivots: no resolution
+					} else {
+						neg = dl
+						found++
+					}
+				}
+			}
+			if found != csize {
+				continue
+			}
+			if neg == 0 {
+				// C ⊆ D: D is redundant.
+				s.deleteClause(d.cr)
+				d.dead = true
+				s.stats.SubsumedLearnts++
+				continue
+			}
+			s.strengthenLearnt(d, neg)
+		}
+		for _, w := range clits {
+			s.seen[cnf.Lit(w).Var()] = 0
+		}
+	}
+
+	// Purge tombstones from the learnt index (reduceDB and the GC both
+	// iterate it and do not expect deleted entries).
+	w := 0
+	for _, cr := range s.learnts {
+		if !s.ca.deleted(cr) {
+			s.learnts[w] = cr
+			w++
+		}
+	}
+	s.learnts = s.learnts[:w]
+}
+
+// strengthenLearnt replaces learnt d with d minus literal drop (already
+// shown redundant by self-subsuming resolution), also shedding literals
+// fixed false at level 0. Unit or empty results are only asserted when
+// no removable XOR row is live and the level-0 state is clean — the same
+// rule recordLearnt enforces with taintL0 — otherwise the strengthening
+// is skipped entirely (d stays valid as-is).
+func (s *Solver) strengthenLearnt(d *subEntry, drop cnf.Lit) {
+	db, dsize := s.ca.litBase(d.cr), int(d.size)
+	out := s.vivKeep[:0]
+	for _, w := range s.ca.store[db : db+dsize] {
+		dl := cnf.Lit(w)
+		if dl == drop {
+			continue
+		}
+		switch s.value(dl) {
+		case lTrue:
+			// Satisfied at level 0: delete rather than rewrite.
+			s.vivKeep = out
+			s.deleteClause(d.cr)
+			d.dead = true
+			s.stats.SubsumedLearnts++
+			return
+		case lFalse:
+			continue
+		}
+		out = append(out, dl)
+	}
+	s.vivKeep = out
+	if len(out) <= 1 && (s.liveXorSels > 0 || s.taintL0) {
+		return // cannot safely assert units here; keep d unchanged
+	}
+	d.dead = true
+	s.stats.VivifiedLits += int64(dsize - len(out))
+	switch len(out) {
+	case 0:
+		s.deleteClause(d.cr)
+		s.ok = false
+	case 1:
+		if s.isSelector[out[0].Var()] == selXORGuard {
+			// Mirror recordLearnt: fixing an XOR-guard selector at level 0
+			// is poison for future calls.
+			s.taintL0 = true
+		}
+		s.deleteClause(d.cr)
+		s.addUnit(out[0])
+	case 2:
+		s.deleteClause(d.cr)
+		s.attachBinary(out[0], out[1])
+	default:
+		lbd := s.ca.lbd(d.cr)
+		if lbd > len(out) {
+			lbd = len(out)
+		}
+		act := s.ca.activity(d.cr)
+		s.deleteClause(d.cr)
+		nc := s.ca.alloc(out, true, lbd, act)
+		s.learnts = append(s.learnts, nc)
+		s.attach(nc)
+	}
+}

@@ -37,7 +37,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 	for i < len(ws) {
 		w := ws[i]
 		blocker := w.blocker()
-		if s.value(blocker) == lTrue {
+		if s.isTrue(blocker) {
 			ws[j] = w
 			i++
 			j++
@@ -49,7 +49,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 			ws[j] = w
 			i++
 			j++
-			if s.value(blocker) == lFalse {
+			if s.isFalse(blocker) {
 				for ; i < len(ws); i++ {
 					ws[j] = ws[i]
 					j++
@@ -75,7 +75,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 			store[base], store[base+1] = store[base+1], store[base]
 		}
 		first := cnf.Lit(store[base])
-		if first != blocker && s.value(first) == lTrue {
+		if first != blocker && s.isTrue(first) {
 			ws[j] = watcher{cr: cr, blk: uint32(first)}
 			i++
 			j++
@@ -83,7 +83,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 		}
 		found := false
 		for k := 2; k < size; k++ {
-			if lk := cnf.Lit(store[base+k]); s.value(lk) != lFalse {
+			if lk := cnf.Lit(store[base+k]); !s.isFalse(lk) {
 				store[base+1], store[base+k] = store[base+k], store[base+1]
 				nw := lk.Not()
 				s.watches[nw] = append(s.watches[nw], watcher{cr: cr, blk: uint32(first)})
@@ -99,7 +99,7 @@ func (s *Solver) propagateClauses(p cnf.Lit) conflict {
 		ws[j] = watcher{cr: cr, blk: uint32(first)}
 		i++
 		j++
-		if s.value(first) == lFalse {
+		if s.isFalse(first) {
 			for ; i < len(ws); i++ {
 				ws[j] = ws[i]
 				j++
@@ -160,11 +160,46 @@ func (s *Solver) propagateXORsPacked(v cnf.Var) conflict {
 			}
 			par = bits.OnesCount64(b&s.xTrue[off])&1 == 1
 		} else {
+			bw := x.bits
+			n := len(bw)
+			assigned := s.xAssigned[off : off+n]
+			bo := 0
+			if s.cfg.DirtyWindow {
+				// Advance the level-0 dirty window: a prefix word whose set
+				// columns are all level-0-assigned never changes again for
+				// this solver's lifetime (level 0 is permanent, and freed
+				// selector columns never occur in other live rows), so cache
+				// its parity contribution and skip it in every later scan.
+				l0 := s.xAssignedL0[off : off+n]
+				for int(x.skip) < n {
+					w := int(x.skip)
+					if bw[w]&^l0[w] != 0 {
+						break
+					}
+					if bits.OnesCount64(bw[w]&s.xTrue[off+w])&1 == 1 {
+						x.skipPar = !x.skipPar
+					}
+					x.skip++
+				}
+				bo = int(x.skip)
+			}
 			moved := false
 			otherW := otherCol>>6 - off
-			assigned := s.xAssigned[off:]
-			for w, b := range x.bits {
-				cand := b &^ assigned[w]
+			w := bo
+			// 4-wide block skip: on a long mostly-assigned row nearly every
+			// word has no unassigned candidate, so reject four per iteration
+			// (the other watch's bit can only make this break early, never
+			// skip its word; the per-word loop below re-checks with it
+			// masked out).
+			for w+4 <= n {
+				if bw[w]&^assigned[w]|bw[w+1]&^assigned[w+1]|
+					bw[w+2]&^assigned[w+2]|bw[w+3]&^assigned[w+3] != 0 {
+					break
+				}
+				w += 4
+			}
+			for ; w < n; w++ {
+				cand := bw[w] &^ assigned[w]
 				if w == otherW {
 					cand &^= 1 << uint(otherCol&63)
 				}
@@ -182,15 +217,24 @@ func (s *Solver) propagateXORsPacked(v cnf.Var) conflict {
 				continue
 			}
 			// No replacement: every variable except possibly `other` is
-			// assigned. One popcount fold gives the parity of the
-			// assigned variables (level-0 ones included — they stay in
-			// packed rows).
-			trueMask := s.xTrue[off:]
-			ones := 0
-			for w, b := range x.bits {
-				ones += bits.OnesCount64(b & trueMask[w])
+			// assigned. Fold the parity of the assigned variables (level-0
+			// ones included — they stay in packed rows) by XOR-accumulating
+			// the masked words and taking one popcount at the end:
+			// parity(popcnt(a)+popcnt(b)) == parity(popcnt(a^b)).
+			trueMask := s.xTrue[off : off+n]
+			var acc uint64
+			w = bo
+			for ; w+4 <= n; w += 4 {
+				acc ^= bw[w]&trueMask[w] ^ bw[w+1]&trueMask[w+1] ^
+					bw[w+2]&trueMask[w+2] ^ bw[w+3]&trueMask[w+3]
 			}
-			par = ones&1 == 1
+			for ; w < n; w++ {
+				acc ^= bw[w] & trueMask[w]
+			}
+			par = bits.OnesCount64(acc)&1 == 1
+			if x.skipPar {
+				par = !par
+			}
 		}
 		occ[j] = xi
 		j++

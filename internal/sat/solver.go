@@ -19,9 +19,9 @@ type Solver struct {
 	numVars int
 	ok      bool // false once a top-level conflict is found
 
-	ca      arena // flat clause store; see arena.go
-	clauses []CRef      // problem clauses (binary ones live only in watchers)
-	learnts []CRef      // learned clauses of size ≥ 3
+	ca      arena  // flat clause store; see arena.go
+	clauses []CRef // problem clauses (binary ones live only in watchers)
+	learnts []CRef // learned clauses of size ≥ 3
 	watches [][]watcher
 
 	xors   []xorClause
@@ -35,11 +35,12 @@ type Solver struct {
 	// restricted to columned variables, maintained by uncheckedEnqueue
 	// and cancelUntil, and make parity folding and watch selection
 	// word-parallel.
-	xcolOf    []int32   // per var: XOR column, or -1
-	xvarOf    []cnf.Var // per column: the variable
-	xfreeCols []int32   // recycled selector columns
-	xAssigned []uint64  // per column bit: variable currently assigned
-	xTrue     []uint64  // per column bit: variable assigned true
+	xcolOf      []int32   // per var: XOR column, or -1
+	xvarOf      []cnf.Var // per column: the variable
+	xfreeCols   []int32   // recycled selector columns
+	xAssigned   []uint64  // per column bit: variable currently assigned
+	xTrue       []uint64  // per column bit: variable assigned true
+	xAssignedL0 []uint64  // per column bit: assigned at level 0 (feeds the dirty window)
 
 	assigns  []lbool   // per var
 	level    []int     // per var
@@ -47,6 +48,23 @@ type Solver struct {
 	phase    []bool    // saved polarity per var
 	activity []float64 // VSIDS activity per var
 	seen     []byte    // scratch for analyze
+
+	// Rephasing state (Config.RephaseEvery): pickBranchLit's polarity
+	// source rotates through saved/target/inverted/original on a restart
+	// cadence; targetPhase snapshots the deepest trail (and each full
+	// model) seen so far.
+	targetPhase []bool
+	bestTrail   int
+	phaseMode   uint8
+	rephaseIdx  int
+
+	// Inprocessing state (Config.InprocessEvery, see inprocess.go):
+	// rolling cursors let budgeted passes cover the whole database across
+	// session boundaries; liveXorSels counts unreleased XOR-guard
+	// selectors, which gate level-0 unit derivation.
+	vivCursor   int
+	probeCursor int
+	liveXorSels int
 
 	trail    []cnf.Lit
 	trailLim []int
@@ -77,6 +95,12 @@ type Solver struct {
 	conflBuf    []cnf.Lit
 	reasonBuf   []cnf.Lit
 	sortScratch []CRef // reduceDB's sort buffer, reused across reductions
+
+	// Inprocessing scratch (inprocess.go), reused across passes.
+	vivAll  []cnf.Lit  // vivifyOne: literal snapshot of the clause
+	vivKeep []cnf.Lit  // vivifyOne: surviving prefix
+	subOcc  [][]int32  // subsumeLearnts: per-var occurrence lists
+	subEnts []subEntry // subsumeLearnts: clause snapshot
 
 	// Incremental-session state (see incremental.go).
 	isSelector   []byte      // per var: selNone/selClause/selXORGuard
@@ -220,6 +244,9 @@ func (s *Solver) growTo(n int) {
 	for len(s.phase) <= n {
 		s.phase = append(s.phase, false)
 	}
+	for len(s.targetPhase) <= n {
+		s.targetPhase = append(s.targetPhase, false)
+	}
 	for len(s.activity) <= n {
 		s.activity = append(s.activity, 0)
 	}
@@ -297,6 +324,14 @@ func (s *Solver) value(l cnf.Lit) lbool {
 }
 
 func (s *Solver) valueVar(v cnf.Var) lbool { return s.assigns[v] }
+
+// isTrue and isFalse are the hot-path forms of value(l) == lTrue /
+// lFalse: one load and one compare, no polarity branches. A positive
+// literal is true iff its variable is lTrue (1), a negative one iff
+// lFalse (2) — so the expected cell value is a linear function of the
+// sign bit.
+func (s *Solver) isTrue(l cnf.Lit) bool  { return s.assigns[l.Var()] == lTrue+lbool(l&1) }
+func (s *Solver) isFalse(l cnf.Lit) bool { return s.assigns[l.Var()] == lFalse-lbool(l&1) }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
@@ -475,6 +510,7 @@ func (s *Solver) xorColumn(v cnf.Var) int {
 		for len(s.xAssigned)*64 < len(s.xvarOf) {
 			s.xAssigned = append(s.xAssigned, 0)
 			s.xTrue = append(s.xTrue, 0)
+			s.xAssignedL0 = append(s.xAssignedL0, 0)
 		}
 	}
 	s.xcolOf[v] = c
@@ -482,6 +518,9 @@ func (s *Solver) xorColumn(v cnf.Var) int {
 		s.xAssigned[c>>6] |= 1 << uint(c&63)
 		if s.assigns[v] == lTrue {
 			s.xTrue[c>>6] |= 1 << uint(c&63)
+		}
+		if s.level[v] == 0 {
+			s.xAssignedL0[c>>6] |= 1 << uint(c&63)
 		}
 	}
 	return int(c)
@@ -499,6 +538,7 @@ func (s *Solver) freeXorColumn(v cnf.Var) {
 	s.xvarOf[c] = 0
 	s.xAssigned[c>>6] &^= 1 << uint(c&63)
 	s.xTrue[c>>6] &^= 1 << uint(c&63)
+	s.xAssignedL0[c>>6] &^= 1 << uint(c&63)
 	s.xfreeCols = append(s.xfreeCols, c)
 }
 
@@ -570,6 +610,7 @@ func (s *Solver) installPackedXOR(bits []uint64, rhs bool, selp *Selector, selCo
 		x := xorClause{bits: win, off: off, rhs: rhs, w: [2]int{selCol, c1}, sel: selp.act.Var()}
 		idx := s.pushXorClause(x, selp.act.Var(), s.xvarOf[c1])
 		selp.xors = append(selp.xors, idx)
+		s.liveXorSels++
 		return true
 	}
 	switch unassigned {
@@ -632,10 +673,15 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from reason) {
 	s.level[v] = s.decisionLevel()
 	s.reasons[v] = from
 	if c := s.xcolOf[v]; c >= 0 {
-		// Mirror the assignment into the packed XOR masks.
+		// Mirror the assignment into the packed XOR masks. Level-0
+		// assignments are permanent for the solver's lifetime, so they
+		// additionally feed the dirty-window prefix mask.
 		s.xAssigned[c>>6] |= 1 << uint(c&63)
 		if !l.Neg() {
 			s.xTrue[c>>6] |= 1 << uint(c&63)
+		}
+		if len(s.trailLim) == 0 {
+			s.xAssignedL0[c>>6] |= 1 << uint(c&63)
 		}
 	}
 	s.trail = append(s.trail, l)
@@ -714,6 +760,13 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 				for v := 1; v <= nv; v++ {
 					s.model[v] = s.assigns[v] == lTrue
 				}
+				if s.cfg.RephaseEvery > 0 {
+					// A full model is the best target phase there is.
+					for v := 1; v <= s.numVars; v++ {
+						s.targetPhase[v] = s.assigns[v] == lTrue
+					}
+					s.bestTrail = len(s.trail)
+				}
 			}
 			s.cancelUntil(0)
 			return st
@@ -725,6 +778,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 			return Unknown
 		}
 		s.stats.Restarts++
+		if re := s.cfg.RephaseEvery; re > 0 && s.stats.Restarts%int64(re) == 0 {
+			s.rephase()
+		}
 		s.cancelUntil(0)
 		// Restart-time housekeeping: when reduceDB tombstones have
 		// accumulated past the waste threshold, compact the arena now —
@@ -761,6 +817,17 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 				return Unsat
 			}
 			learnt, btLevel, lbd := s.analyze(confl)
+			if t := s.cfg.ChronoBacktrack; t > 0 && len(learnt) > 1 &&
+				s.decisionLevel()-btLevel > t {
+				// Chronological backtracking: a long backjump discards a
+				// trail prefix that is usually re-derived verbatim. Undo one
+				// level instead and assert the learnt literal there — a
+				// sound level over-approximation (analysis treats recorded
+				// levels as upper bounds). Unit learnts still go to level 0:
+				// they have no clause to re-propagate them after a restart.
+				btLevel = s.decisionLevel() - 1
+				s.stats.ChronoBacktracks++
+			}
 			s.cancelUntil(btLevel)
 			s.recordLearnt(learnt, lbd)
 			s.decayActivities()
@@ -770,8 +837,22 @@ func (s *Solver) search(nConflicts, confLimit, propLimit int64, assumptions []cn
 			}
 			continue
 		}
+		if s.cfg.RephaseEvery > 0 && len(s.trail) > s.bestTrail {
+			// Deepest conflict-free trail so far: snapshot its polarities as
+			// the target phase — the closest-to-a-model assignment yet seen.
+			s.bestTrail = len(s.trail)
+			for _, l := range s.trail {
+				s.targetPhase[l.Var()] = !l.Neg()
+			}
+		}
 		if float64(len(s.learnts)) > s.maxLearnts {
 			s.reduceDB()
+			if !s.ok {
+				// The level-0 subsumption pass inside reduceDB proved the
+				// formula UNSAT (safe: it only derives units when no
+				// removable XOR rows are live).
+				return Unsat
+			}
 		}
 		next := cnf.Lit(0)
 		for s.decisionLevel() < len(assumptions) {
@@ -813,6 +894,14 @@ func (s *Solver) pickBranchLit() cnf.Lit {
 				continue
 			}
 			pol := s.phase[v]
+			switch s.phaseMode {
+			case phaseUseTarget:
+				pol = s.targetPhase[v]
+			case phaseUseInverted:
+				pol = !s.phase[v]
+			case phaseUseOriginal:
+				pol = false
+			}
 			if s.cfg.RandomPolarityFreq > 0 && s.rng.Float64() < s.cfg.RandomPolarityFreq {
 				pol = s.rng.Bool()
 			}
@@ -850,6 +939,31 @@ func (s *Solver) recordLearnt(learnt []cnf.Lit, lbd int) {
 	s.uncheckedEnqueue(learnt[0], reason{tag: reasonClause, ref: cr})
 }
 
+// Polarity sources for pickBranchLit; rephase rotates phaseMode through
+// rephaseSeq. The zero value (saved phase) is the classic behavior and
+// the permanent mode when RephaseEvery is 0.
+const (
+	phaseUseSaved uint8 = iota
+	phaseUseTarget
+	phaseUseInverted
+	phaseUseOriginal
+)
+
+var rephaseSeq = [...]uint8{
+	phaseUseTarget, phaseUseSaved, phaseUseInverted,
+	phaseUseSaved, phaseUseOriginal, phaseUseSaved,
+}
+
+// rephase rotates the decision polarity source (CaDiCaL-style). The
+// best-trail watermark resets so the target snapshot re-learns under the
+// new source instead of being pinned by a stale deep trail.
+func (s *Solver) rephase() {
+	s.phaseMode = rephaseSeq[s.rephaseIdx%len(rephaseSeq)]
+	s.rephaseIdx++
+	s.bestTrail = 0
+	s.stats.Rephases++
+}
+
 func (s *Solver) decayActivities() {
 	s.varInc *= 1 / 0.95
 	s.claInc *= 1 / 0.999
@@ -885,6 +999,15 @@ func (s *Solver) bumpClause(cr CRef) {
 // trail via the arena's scratch bit instead of building a per-call
 // set, so the whole pass is allocation-free in the steady state.
 func (s *Solver) reduceDB() {
+	if s.cfg.InprocessEvery > 0 && !s.cfg.RecordProof && s.decisionLevel() == 0 {
+		// On-the-fly learnt subsumption: reduceDB fires at level 0 right
+		// after restarts, the one mid-search point where strengthening is
+		// safe (see inprocess.go for the selector-safety rules).
+		s.subsumeLearnts(subsumeBudgetDefault)
+		if !s.ok {
+			return
+		}
+	}
 	if len(s.learnts) == 0 {
 		return
 	}

@@ -73,6 +73,8 @@ func main() {
 	addr := flag.String("addr", ":8671", "listen address")
 	epsilon := flag.Float64("epsilon", 6, "uniformity tolerance for prepared formulas (> 1.71)")
 	cache := flag.Int("cache", 64, "max prepared formulas kept (LRU)")
+	storeDir := flag.String("store-dir", "", "directory for the persistent prepared-formula store (empty = off)")
+	storeMax := flag.Int64("store-max-bytes", 0, "max bytes the persistent store may hold before evicting least-recently-accessed entries (0 = unlimited)")
 	jobs := flag.Int("j", 0, "default per-request sampling workers (0 = all CPUs)")
 	budget := flag.Int64("budget", 0, "conflict budget per SAT call (0 = unlimited)")
 	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
@@ -121,6 +123,8 @@ func main() {
 		ApproxMCRounds: *rounds,
 		Workers:        workers,
 		CacheSize:      *cache,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,
@@ -157,6 +161,8 @@ func main() {
 			"prepare_timeout", prepTimeout.String(),
 			"slow_request", slowReq.String(),
 			"gauss_jordan", *gauss,
+			"store_dir", *storeDir,
+			"store_max_bytes", *storeMax,
 		))
 
 	if *debugAddr != "" {
@@ -190,6 +196,17 @@ func run(ctx context.Context, opts unigen.ServiceOptions, ln net.Listener, timeo
 	}
 	debugSvc.Store(svc)
 	defer debugSvc.Store((*unigen.Service)(nil))
+
+	// The warm scan already ran inside NewService; report what a
+	// restarted daemon can serve without re-preparing.
+	if opts.StoreDir != "" {
+		st := svc.Stats().Store
+		logger.Info("persistent store opened",
+			"dir", opts.StoreDir,
+			"entries", st.Entries,
+			"bytes", st.Bytes,
+			"max_bytes", opts.StoreMaxBytes)
+	}
 
 	// WriteTimeout backstops the per-request deadline: a request that
 	// somehow ignores its budget still cannot hold a connection forever.

@@ -95,6 +95,98 @@ func TestSIGTERMDrain(t *testing.T) {
 	}
 }
 
+// TestStoreWarmRestartDaemon runs two full daemon lifetimes over one
+// persistent store directory: the second must serve the formula from
+// disk (one store hit, zero RAM hits) with witnesses bit-identical to
+// the first lifetime's cold answer.
+func TestStoreWarmRestartDaemon(t *testing.T) {
+	const fixture = "c ind 1 2 3 4 5 6 7 8 9 10 0\np cnf 12 1\n11 12 0\n"
+	dir := t.TempDir()
+
+	lifetime := func(t *testing.T, wantStoreHits int64) []string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := "http://" + ln.Addr().String()
+		ctx, cancel := context.WithCancel(context.Background())
+		runDone := make(chan error, 1)
+		opts := unigen.ServiceOptions{Workers: 1, ApproxMCRounds: 15, StoreDir: dir}
+		go func() { runDone <- run(ctx, opts, ln, 0, 10*time.Second) }()
+
+		body, _ := json.Marshal(map[string]any{"formula": fixture, "n": 4, "seed": 2014})
+		resp, err := http.Post(base+"/sample", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Witnesses []string `json:"witnesses"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("sample: status %d err %v", resp.StatusCode, err)
+		}
+
+		sresp, err := http.Get(base + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Hits  int64 `json:"hits"`
+			Store struct {
+				Enabled bool  `json:"enabled"`
+				Hits    int64 `json:"hits"`
+				Entries int   `json:"entries"`
+			} `json:"store"`
+		}
+		err = json.NewDecoder(sresp.Body).Decode(&st)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Store.Enabled {
+			t.Fatal("/stats reports the store disabled")
+		}
+		if st.Hits != 0 {
+			t.Fatalf("RAM hits = %d, want 0", st.Hits)
+		}
+		if st.Store.Hits != wantStoreHits {
+			t.Fatalf("store hits = %d, want %d", st.Store.Hits, wantStoreHits)
+		}
+
+		cancel() // drain: flushes the write-behind queue
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+		return out.Witnesses
+	}
+
+	var cold, warm []string
+	t.Run("cold", func(t *testing.T) { cold = lifetime(t, 0) })
+	t.Run("warm", func(t *testing.T) { warm = lifetime(t, 1) })
+	if len(cold) == 0 || !equalStrings(cold, warm) {
+		t.Fatalf("witnesses diverged across restart:\n cold: %v\n warm: %v", cold, warm)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func postSample(base, formula string) (int, error) {
 	body, _ := json.Marshal(map[string]any{"formula": formula, "n": 1, "seed": 7})
 	resp, err := http.Post(base+"/sample", "application/json", bytes.NewReader(body))

@@ -1,0 +1,113 @@
+package cnf
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func binaryFixture() *Formula {
+	f := New(6)
+	f.AddClause(1, -2, 3)
+	f.AddClause(-4, 5)
+	f.AddClause(6)
+	f.AddXOR([]Var{1, 3, 5}, true)
+	f.AddXOR([]Var{2, 4}, false)
+	f.SamplingSet = []Var{1, 2, 3}
+	return f
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := map[string]*Formula{
+		"full":         binaryFixture(),
+		"empty":        New(0),
+		"no-sampling":  func() *Formula { f := New(3); f.AddClause(1, 2); return f }(),
+		"empty-set":    func() *Formula { f := New(2); f.SamplingSet = []Var{}; return f }(),
+		"empty-clause": func() *Formula { f := New(1); f.Clauses = append(f.Clauses, Clause{}); return f }(),
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc, err := AppendBinary(nil, f)
+			if err != nil {
+				t.Fatalf("AppendBinary: %v", err)
+			}
+			got, n, err := DecodeBinary(enc)
+			if err != nil {
+				t.Fatalf("DecodeBinary: %v", err)
+			}
+			if n != len(enc) {
+				t.Fatalf("consumed %d of %d bytes", n, len(enc))
+			}
+			if !reflect.DeepEqual(normalizeEmpty(got), normalizeEmpty(f)) {
+				t.Fatalf("round trip:\n got %+v\nwant %+v", got, f)
+			}
+			// nil vs empty sampling set must be preserved exactly.
+			if (got.SamplingSet == nil) != (f.SamplingSet == nil) {
+				t.Fatalf("sampling-set nilness changed: %v → %v", f.SamplingSet == nil, got.SamplingSet == nil)
+			}
+			reenc, err := AppendBinary(nil, got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(enc, reenc) {
+				t.Fatal("re-encoded bytes differ")
+			}
+		})
+	}
+}
+
+// normalizeEmpty maps empty clause/XOR slices to nil so DeepEqual
+// compares content, not make-vs-append artifacts.
+func normalizeEmpty(f *Formula) *Formula {
+	g := *f
+	if len(g.Clauses) == 0 {
+		g.Clauses = nil
+	}
+	if len(g.XORs) == 0 {
+		g.XORs = nil
+	}
+	return &g
+}
+
+func TestBinaryTrailingBytesLeftForCaller(t *testing.T) {
+	enc, err := AppendBinary(nil, binaryFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := append(bytes.Clone(enc), 0xAA, 0xBB)
+	_, n, err := DecodeBinary(padded)
+	if err != nil {
+		t.Fatalf("DecodeBinary with trailing bytes: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d, want %d", n, len(enc))
+	}
+}
+
+func TestBinaryRejectsMalformed(t *testing.T) {
+	enc, err := AppendBinary(nil, binaryFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, _, err := DecodeBinary(enc[:n]); !errors.Is(err, ErrBinary) {
+			t.Fatalf("truncation to %d bytes: %v, want ErrBinary", n, err)
+		}
+	}
+	// A literal referencing a variable beyond NumVars.
+	bad := New(2)
+	bad.Clauses = append(bad.Clauses, Clause{MkLit(9, false)})
+	if _, err := AppendBinary(nil, bad); !errors.Is(err, ErrBinary) {
+		t.Fatalf("out-of-range literal encoded: %v", err)
+	}
+	// Hostile counts larger than the remaining input must be rejected
+	// before any allocation is sized from them.
+	huge := []byte{
+		0xFF, 0xFF, 0xFF, 0x00, // numVars (within MaxBinaryVars)
+		0xFF, 0xFF, 0xFF, 0xFF, // clauseCount = 2^32-1
+	}
+	if _, _, err := DecodeBinary(huge); !errors.Is(err, ErrBinary) {
+		t.Fatalf("hostile clause count: %v, want ErrBinary", err)
+	}
+}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/big"
+
+	"unigen/internal/cnf"
+)
+
+// Setup codec: the versioned, checksummed binary encoding behind the
+// persistent prepared-formula store (DESIGN §12). Encode serializes
+// everything lines 1–11 of Algorithm 1 derive — the simplified formula,
+// sampling set, κ/pivot, the easy-case witness list, the ApproxMC
+// estimate C, the candidate endpoint q, and the setup-phase stats — so
+// a later process can rehydrate the Setup and serve bit-identical
+// samples without re-running the setup. The spare session is the one
+// field that cannot be persisted: a decoded Setup carries spare=nil, so
+// NewSession and NewSessionWith build solvers lazily on first use.
+//
+// Frame layout (all integers little-endian):
+//
+//	[0:4]   magic "UGSU"
+//	[4:6]   u16 version (currently 1)
+//	[6:10]  u32 payload length
+//	[10:N]  payload (see below)
+//	[N:N+4] u32 CRC-32C (Castagnoli) over bytes [0:N]
+//
+// The frame must be exact: trailing bytes after the CRC are rejected,
+// which is what makes Encode∘Decode a fixpoint on every accepted input
+// (the property FuzzDecodeSetup pins).
+//
+// Payload layout:
+//
+//	[32]byte fingerprint of the encoded formula (cnf.Fingerprint)
+//	f64      epsilon (IEEE-754 bits; preserved exactly, NaN included)
+//	formula  (cnf.AppendBinary)
+//	u32 count + u32 per variable   sampling set s
+//	f64 kappa, u32 pivot, u32 hiThresh, f64 loThresh
+//	u8 easySet (0|1)
+//	u32 easyCount + easyCount × ⌈NumVars/8⌉ bytes   bit-packed witnesses
+//	    (bit v−1 of a row is variable v; row order is the canonical
+//	    sortWitnesses order, which SampleRound's index pick depends on)
+//	u32 q
+//	u8 estTag (0|1) + if 1: u32 len + big-endian magnitude (big.Int.Bytes)
+//	base stats: 17 × u64 (two's-complement int64, declaration order),
+//	    u32 SetupRounds, u8 EasyCase, u32 Q
+//
+// Decode validates structure, never panics on arbitrary input, and
+// bounds every allocation by the bytes actually present. Semantic
+// checks reject blobs no Encode could have produced: the embedded
+// fingerprint must match the decoded formula, κ/pivot must equal
+// ComputeKappaPivot(epsilon) exactly (both sides run the same
+// deterministic bisection), easy-case and estimate presence must agree,
+// and q must lie in its clamped range.
+
+const (
+	setupMagic   = "UGSU"
+	setupVersion = 1
+	setupHdrLen  = 4 + 2 + 4 // magic + version + payload length
+)
+
+// ErrCodec tags every setup-encoding failure: truncation, checksum or
+// version mismatch, and structurally impossible field values. The store
+// tier treats any ErrCodec as a miss and quarantines the entry.
+var ErrCodec = errors.New("core: invalid setup encoding")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxEncodedWitnesses bounds the easy-case witness count accepted at
+// decode. Real easy lists hold at most HiThresh entries (≲ a few
+// hundred for any admissible ε), so the bound is generous while keeping
+// hostile counts from sizing huge allocations.
+const MaxEncodedWitnesses = 1 << 20
+
+// Encode serializes the setup into a self-contained checksummed frame
+// suitable for the persistent store. The encoding captures everything
+// the setup derived; it does not capture Options.Solver or other
+// runtime knobs, which the decoding process supplies (they configure
+// sessions, not the prepared state).
+func (su *Setup) Encode() ([]byte, error) {
+	le := binary.LittleEndian
+	payload := make([]byte, 0, 256)
+
+	fp := cnf.Fingerprint(su.f)
+	payload = append(payload, fp[:]...)
+	payload = le.AppendUint64(payload, math.Float64bits(su.opts.Epsilon))
+
+	var err error
+	payload, err = cnf.AppendBinary(payload, su.f)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+
+	payload = le.AppendUint32(payload, uint32(len(su.s)))
+	for _, v := range su.s {
+		if v < 1 || int(v) > su.f.NumVars {
+			return nil, fmt.Errorf("%w: sampling variable %d outside 1..%d", ErrCodec, v, su.f.NumVars)
+		}
+		payload = le.AppendUint32(payload, uint32(v))
+	}
+
+	payload = le.AppendUint64(payload, math.Float64bits(su.kp.Kappa))
+	payload = le.AppendUint32(payload, uint32(su.kp.Pivot))
+	payload = le.AppendUint32(payload, uint32(su.kp.HiThresh))
+	payload = le.AppendUint64(payload, math.Float64bits(su.kp.LoThresh))
+
+	payload = appendBool(payload, su.easySet)
+	payload = le.AppendUint32(payload, uint32(len(su.easy)))
+	width := (su.f.NumVars + 7) / 8
+	row := make([]byte, width)
+	for _, w := range su.easy {
+		clear(row)
+		for v := 1; v <= su.f.NumVars; v++ {
+			if v < len(w) && w[v] {
+				row[(v-1)/8] |= 1 << uint((v-1)%8)
+			}
+		}
+		payload = append(payload, row...)
+	}
+
+	payload = le.AppendUint32(payload, uint32(su.q))
+	if su.est == nil {
+		payload = append(payload, 0)
+	} else {
+		if su.est.Sign() <= 0 {
+			return nil, fmt.Errorf("%w: non-positive estimate", ErrCodec)
+		}
+		eb := su.est.Bytes()
+		payload = append(payload, 1)
+		payload = le.AppendUint32(payload, uint32(len(eb)))
+		payload = append(payload, eb...)
+	}
+
+	for _, c := range statsCounters(&su.base) {
+		payload = le.AppendUint64(payload, uint64(*c))
+	}
+	payload = le.AppendUint32(payload, uint32(su.base.SetupRounds))
+	payload = appendBool(payload, su.base.EasyCase)
+	payload = le.AppendUint32(payload, uint32(su.base.Q))
+
+	out := make([]byte, 0, setupHdrLen+len(payload)+4)
+	out = append(out, setupMagic...)
+	out = le.AppendUint16(out, setupVersion)
+	out = le.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = le.AppendUint32(out, crc32.Checksum(out, crcTable))
+	return out, nil
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// statsCounters lists the int64 counters of Stats in their fixed codec
+// order. Encode and decode both go through it, so the two cannot skew;
+// adding a Stats field means extending this list and bumping
+// setupVersion.
+func statsCounters(st *Stats) []*int64 {
+	return []*int64{
+		&st.Samples, &st.Failures, &st.BSATCalls, &st.XORRows, &st.XORLenSum,
+		&st.Conflicts, &st.Propagations, &st.Learned, &st.Removed, &st.Compactions,
+		&st.ArenaBytes, &st.VivifiedLits, &st.SubsumedLearnts, &st.ProbedLits,
+		&st.FailedLits, &st.Rephases, &st.ChronoBacktracks,
+	}
+}
+
+// VerifySetupFrame checks the frame envelope — magic, version, exact
+// length, checksum — without decoding the payload. The store runs it on
+// every read so corrupt, truncated, or version-skewed entries are
+// quarantined at the I/O boundary, before any structural decode.
+func VerifySetupFrame(data []byte) error {
+	if len(data) < setupHdrLen+4 {
+		return fmt.Errorf("%w: frame of %d bytes", ErrCodec, len(data))
+	}
+	if string(data[:4]) != setupMagic {
+		return fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	le := binary.LittleEndian
+	if v := le.Uint16(data[4:]); v != setupVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrCodec, v, setupVersion)
+	}
+	plen := int(le.Uint32(data[6:]))
+	if len(data) != setupHdrLen+plen+4 {
+		return fmt.Errorf("%w: frame length %d, header says %d", ErrCodec, len(data), setupHdrLen+plen+4)
+	}
+	body := setupHdrLen + plen
+	if got, want := crc32.Checksum(data[:body], crcTable), le.Uint32(data[body:]); got != want {
+		return fmt.Errorf("%w: checksum mismatch", ErrCodec)
+	}
+	return nil
+}
+
+// EncodedFingerprint extracts the formula fingerprint from an encoded
+// setup frame after envelope verification, without decoding the rest of
+// the payload. The service's disk tier uses it to confirm a store entry
+// answers the formula actually requested before paying for the decode.
+func EncodedFingerprint(data []byte) ([32]byte, error) {
+	var fp [32]byte
+	if err := VerifySetupFrame(data); err != nil {
+		return fp, err
+	}
+	if int(binary.LittleEndian.Uint32(data[6:])) < 32 {
+		return fp, fmt.Errorf("%w: payload too short for fingerprint", ErrCodec)
+	}
+	copy(fp[:], data[setupHdrLen:])
+	return fp, nil
+}
+
+// setupReader is a bounds-checked cursor over the payload.
+type setupReader struct {
+	data []byte
+	off  int
+}
+
+func (r *setupReader) remaining() int { return len(r.data) - r.off }
+
+func (r *setupReader) u8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("%w: truncated payload at byte %d", ErrCodec, r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *setupReader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("%w: truncated payload at byte %d", ErrCodec, r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *setupReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated payload at byte %d", ErrCodec, r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *setupReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *setupReader) bool() (bool, error) {
+	b, err := r.u8()
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, fmt.Errorf("%w: boolean byte %d", ErrCodec, b)
+	}
+	return b == 1, nil
+}
+
+func (r *setupReader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("%w: truncated payload at byte %d", ErrCodec, r.off)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// DecodeSetup rehydrates a Setup from an Encode frame. opts supplies
+// the runtime configuration the encoding deliberately omits — solver
+// budgets, Gauss–Jordan, MaxRetries — exactly as NewSetup would have
+// received it; opts.Epsilon must match the encoded epsilon (zero adopts
+// it). The returned Setup has no spare session: the first NewSession or
+// NewSessionWith call builds a solver lazily, so rehydration itself
+// performs no solver work at all.
+func DecodeSetup(data []byte, opts Options) (*Setup, error) {
+	if err := VerifySetupFrame(data); err != nil {
+		return nil, err
+	}
+	plen := int(binary.LittleEndian.Uint32(data[6:]))
+	r := &setupReader{data: data[setupHdrLen : setupHdrLen+plen]}
+
+	fpb, err := r.take(32)
+	if err != nil {
+		return nil, err
+	}
+	var fp [32]byte
+	copy(fp[:], fpb)
+
+	eps, err := r.f64()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Epsilon == 0 {
+		opts.Epsilon = eps
+	} else if math.Float64bits(opts.Epsilon) != math.Float64bits(eps) {
+		return nil, fmt.Errorf("%w: encoded for epsilon %v, requested %v", ErrCodec, eps, opts.Epsilon)
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 10
+	}
+
+	f, n, err := cnf.DecodeBinary(r.data[r.off:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	r.off += n
+	if cnf.Fingerprint(f) != fp {
+		return nil, fmt.Errorf("%w: fingerprint does not match encoded formula", ErrCodec)
+	}
+
+	ns, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(ns)*4 > int64(r.remaining()) {
+		return nil, fmt.Errorf("%w: sampling-set count %d exceeds payload", ErrCodec, ns)
+	}
+	s := make([]cnf.Var, ns)
+	for i := range s {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 || int(v) > f.NumVars {
+			return nil, fmt.Errorf("%w: sampling variable %d outside 1..%d", ErrCodec, v, f.NumVars)
+		}
+		s[i] = cnf.Var(v)
+	}
+
+	var kp KappaPivot
+	if kp.Kappa, err = r.f64(); err != nil {
+		return nil, err
+	}
+	pv, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	kp.Pivot = int(pv)
+	ht, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	kp.HiThresh = int(ht)
+	if kp.LoThresh, err = r.f64(); err != nil {
+		return nil, err
+	}
+	want, kerr := ComputeKappaPivot(opts.Epsilon)
+	if kerr != nil || want != kp {
+		return nil, fmt.Errorf("%w: kappa/pivot does not match epsilon %v", ErrCodec, opts.Epsilon)
+	}
+
+	easySet, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	ne, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	width := (f.NumVars + 7) / 8
+	if ne > MaxEncodedWitnesses || int64(ne)*int64(max(width, 1)) > int64(r.remaining()) {
+		return nil, fmt.Errorf("%w: witness count %d exceeds payload", ErrCodec, ne)
+	}
+	if !easySet && ne != 0 {
+		return nil, fmt.Errorf("%w: %d witnesses without easy-case flag", ErrCodec, ne)
+	}
+	var easy []cnf.Assignment
+	if ne > 0 {
+		easy = make([]cnf.Assignment, ne)
+	}
+	for i := range easy {
+		row, err := r.take(width)
+		if err != nil {
+			return nil, err
+		}
+		a := cnf.NewAssignment(f.NumVars)
+		for v := 1; v <= f.NumVars; v++ {
+			if row[(v-1)/8]&(1<<uint((v-1)%8)) != 0 {
+				a[v] = true
+			}
+		}
+		easy[i] = a
+	}
+
+	qv, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	q := int(qv)
+	estTag, err := r.bool()
+	if err != nil {
+		return nil, err
+	}
+	if estTag == easySet {
+		return nil, fmt.Errorf("%w: estimate presence %v with easy-case flag %v", ErrCodec, estTag, easySet)
+	}
+	var est *big.Int
+	if estTag {
+		el, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		eb, err := r.take(int(el))
+		if err != nil {
+			return nil, err
+		}
+		// big.Int.Bytes() is canonical: non-empty, no leading zero.
+		// Anything else would re-encode shorter and break the fixpoint.
+		if len(eb) == 0 || eb[0] == 0 {
+			return nil, fmt.Errorf("%w: non-canonical estimate bytes", ErrCodec)
+		}
+		est = new(big.Int).SetBytes(eb)
+		if q < 1 || q > len(s) {
+			return nil, fmt.Errorf("%w: q=%d outside 1..%d", ErrCodec, q, len(s))
+		}
+	} else if q != 0 {
+		return nil, fmt.Errorf("%w: easy-case setup with q=%d", ErrCodec, q)
+	}
+
+	var base Stats
+	for _, c := range statsCounters(&base) {
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		*c = int64(v)
+	}
+	sr, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	base.SetupRounds = int(sr)
+	if base.EasyCase, err = r.bool(); err != nil {
+		return nil, err
+	}
+	bq, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	base.Q = int(bq)
+	if base.EasyCase != easySet {
+		return nil, fmt.Errorf("%w: stats easy-case flag disagrees with setup", ErrCodec)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCodec, r.remaining())
+	}
+
+	return &Setup{
+		f:       f,
+		s:       s,
+		kp:      kp,
+		opts:    opts,
+		easy:    easy,
+		easySet: easySet,
+		q:       q,
+		est:     est,
+		base:    base,
+	}, nil
+}

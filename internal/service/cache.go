@@ -19,6 +19,7 @@ type prepared struct {
 	setup       *core.Setup
 	prepStats   core.Stats
 	fingerprint string // lowercase hex
+	fromDisk    bool   // rehydrated from the persistent store (DESIGN §12)
 
 	requests atomic.Int64 // sample + count requests served from this entry
 	samples  atomic.Int64 // witnesses returned

@@ -116,6 +116,7 @@ type StatsHTTPResponse struct {
 	Size      int            `json:"size"`
 	Capacity  int            `json:"capacity"`
 	Formulas  []FormulaStats `json:"formulas,omitempty"`
+	Store     StoreStats     `json:"store"` // persistent disk tier (DESIGN §12)
 	Admission AdmissionStats `json:"admission"`
 	Outcomes  OutcomeStats   `json:"outcomes"`
 	Solver    SolverTotals   `json:"solver"`  // sampling work across finished requests
@@ -253,6 +254,7 @@ func NewHandler(s *Service) http.Handler {
 			Size:      st.Size,
 			Capacity:  st.Capacity,
 			Formulas:  st.Formulas,
+			Store:     st.Store,
 			Admission: st.Admission,
 			Outcomes:  st.Outcomes,
 			Solver:    st.Solver,

@@ -9,6 +9,7 @@ import (
 
 	"unigen/internal/core"
 	"unigen/internal/obs"
+	"unigen/internal/store"
 )
 
 // Observability wiring (DESIGN §10): every counter the service and the
@@ -172,6 +173,33 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 	r.CollectGauges("unigen_cache_capacity", "Prepared-formula cache capacity (LRU bound).", nil, func() []obs.Sample {
 		return []obs.Sample{{Value: float64(s.cfg.CacheSize)}}
 	})
+
+	// Persistent store (DESIGN §12): disk-tier counters, registered only
+	// when the tier exists so a store-less deployment's scrape stays
+	// exactly as before. Each family closes over Store.Stats, the same
+	// source /stats reports.
+	if s.store != nil {
+		storeCounter := func(name, help string, pick func(store.Stats) int64) {
+			r.CollectCounters(name, help, nil, func() []obs.Sample {
+				return []obs.Sample{{Value: float64(pick(s.store.Stats()))}}
+			})
+		}
+		storeCounter("unigen_store_hits_total", "Disk-tier lookups that served a valid entry.",
+			func(t store.Stats) int64 { return t.Hits })
+		storeCounter("unigen_store_misses_total", "Disk-tier lookups that fell through to a cold prepare.",
+			func(t store.Stats) int64 { return t.Misses })
+		storeCounter("unigen_store_writes_total", "Prepared formulas persisted by the write-behind queue.",
+			func(t store.Stats) int64 { return t.Writes })
+		storeCounter("unigen_store_write_errors_total", "Store writes dropped (queue overflow or I/O failure).",
+			func(t store.Stats) int64 { return t.WriteErrors })
+		storeCounter("unigen_store_evictions_total", "Store entries removed by the size-cap scan.",
+			func(t store.Stats) int64 { return t.Evictions })
+		storeCounter("unigen_store_corrupt_entries_total", "Store entries quarantined as corrupt, truncated, or version-skewed.",
+			func(t store.Stats) int64 { return t.CorruptEntries })
+		r.CollectGauges("unigen_store_bytes", "Total size of live persistent-store entries.", nil, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(s.store.Stats().Bytes)}}
+		})
+	}
 
 	// Admission gate (DESIGN §9): live occupancy and the shed counters,
 	// split by reason exactly as AdmissionStats reports them.

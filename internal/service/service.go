@@ -64,6 +64,7 @@ import (
 	"unigen/internal/parallel"
 	"unigen/internal/randx"
 	"unigen/internal/sat"
+	"unigen/internal/store"
 )
 
 // Config fixes the service-wide preparation parameters. Fields that
@@ -89,6 +90,22 @@ type Config struct {
 	// CacheSize bounds the number of prepared formulas kept (LRU;
 	// default 64).
 	CacheSize int
+
+	// Persistent store (DESIGN §12). When StoreDir is set the RAM LRU
+	// grows a disk tier: preparation flights first try to rehydrate an
+	// encoded Setup from disk, and cold preparations are persisted via a
+	// background write-behind queue. Entries are keyed by the same
+	// fingerprint+parameters string as the RAM cache, so state prepared
+	// under different Epsilon/solver settings never aliases.
+
+	// StoreDir is the persistent-store directory ("" disables the disk
+	// tier). Opened (and created) at New; a warm scan counts surviving
+	// entries.
+	StoreDir string
+	// StoreMaxBytes caps the store's total size; the write-behind
+	// goroutine evicts least-recently-accessed entries beyond it
+	// (0 = unlimited).
+	StoreMaxBytes int64
 
 	// Admission control (DESIGN §9). Zero values keep the permissive
 	// pre-admission behavior: no gate, no queue, no quotas.
@@ -144,6 +161,7 @@ type Config struct {
 type Service struct {
 	cfg   Config
 	cache *prepCache
+	store *store.Store // disk tier; nil when Config.StoreDir is empty
 	adm   *admission
 	out   outcomes
 
@@ -200,20 +218,38 @@ func New(cfg Config) (*Service, error) {
 		start:  time.Now(),
 	}
 	s.idle = sync.NewCond(&s.mu)
+	if cfg.StoreDir != "" {
+		ds, err := store.Open(store.Options{
+			Dir:      cfg.StoreDir,
+			MaxBytes: cfg.StoreMaxBytes,
+			Verify:   core.VerifySetupFrame,
+			Logger:   cfg.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening persistent store: %w", err)
+		}
+		s.store = ds
+	}
 	s.met = newServiceMetrics(s)
 	// Preparation flights report here when they finish, whichever
 	// request triggered them: solver-work totals for /stats and
 	// /metrics, the prepare-phase latency histogram, and the flight
 	// outcome counter. Accounting at the flight keeps single-flight
-	// preparations counted exactly once, not per co-waiter.
+	// preparations counted exactly once, not per co-waiter. Disk-tier
+	// rehydrations carry setup stats describing another process's solver
+	// work, so they get their own result label and stay out of the
+	// prepare work totals — this process did no solving for them.
 	s.cache.onFlightDone = func(p *prepared, d time.Duration, err error) {
 		s.met.phaseSeconds.With("prepare").ObserveDuration(d)
-		if err != nil {
+		switch {
+		case err != nil:
 			s.met.prepares.With("error").Inc()
-			return
+		case p.fromDisk:
+			s.met.prepares.With("disk_hit").Inc()
+		default:
+			s.met.prepares.With("ok").Inc()
+			s.prep.add(p.prepStats)
 		}
-		s.met.prepares.With("ok").Inc()
-		s.prep.add(p.prepStats)
 	}
 	return s, nil
 }
@@ -363,8 +399,14 @@ func requestErr(ctx context.Context, err error) error {
 	return err
 }
 
-// prepare fetches (or builds, single-flight) the prepared formula.
-func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool, error) {
+// prepare fetches the prepared formula through the two-tier lookup
+// (DESIGN §12): RAM LRU hit → disk hit + rehydrate → cold prepare,
+// with single-flight preserved across both lower tiers — concurrent
+// misses for one key share a single flight, and that flight probes the
+// disk exactly once before paying for a cold NewSetup. psp (nil-safe)
+// is the request's prepare span; the flight hangs its store phase
+// under it.
+func (s *Service) prepare(ctx context.Context, f *cnf.Formula, psp *obs.Span) (*prepared, bool, error) {
 	if f == nil {
 		return nil, false, fmt.Errorf("%w: nil formula", ErrInvalidRequest)
 	}
@@ -396,6 +438,23 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 				return nil, err
 			}
 			_ = faultpoint.Fire(faultpoint.PreparePanic)
+
+			// Disk tier: a valid entry rehydrates in microseconds with
+			// zero solver work. Any defect — bad frame, decode failure,
+			// wrong fingerprint — quarantines the entry and falls
+			// through to a cold prepare; the store path can degrade but
+			// never fail a request.
+			if s.store != nil {
+				ssp := psp.StartSpan("store")
+				if p, ok := s.rehydrate(key, fp); ok {
+					ssp.SetInt("hit", 1)
+					ssp.End()
+					return p, nil
+				}
+				ssp.SetInt("hit", 0)
+				ssp.End()
+			}
+
 			su, err := core.NewSetup(g, randx.New(core.PrepSeedFromFingerprint(fp)), core.Options{
 				Epsilon: s.cfg.Epsilon,
 				Solver: sat.Config{
@@ -420,6 +479,16 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 			// NewSessionWith; drop the setup-phase spare solver instead
 			// of pinning one dead solver per cached formula.
 			su.ReleaseSpare()
+			// Write-behind: the encoded setup is queued for the disk
+			// tier without blocking this flight on any I/O. An encode
+			// failure only costs durability, never the request.
+			if s.store != nil {
+				if blob, eerr := su.Encode(); eerr == nil {
+					s.store.Put(key, blob)
+				} else if s.logger != nil {
+					s.logger.Warn("store encode failed", "fingerprint", hex.EncodeToString(fp[:]), "err", eerr)
+				}
+			}
 			return &prepared{
 				setup:       su,
 				prepStats:   su.SetupStats(),
@@ -427,6 +496,43 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula) (*prepared, bool,
 			}, nil
 		}
 	})
+}
+
+// rehydrate attempts the disk tier: read + frame-verify (inside the
+// store), confirm the entry answers the requested formula, and decode.
+// Failures past the store's own Verify are reported back as quarantines
+// so a rotted entry is retired instead of retried forever.
+func (s *Service) rehydrate(key string, fp [32]byte) (*prepared, bool) {
+	blob, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	efp, err := core.EncodedFingerprint(blob)
+	if err == nil && efp != fp {
+		err = fmt.Errorf("store entry for fingerprint %x answers %x", efp, fp)
+	}
+	var su *core.Setup
+	if err == nil {
+		su, err = core.DecodeSetup(blob, core.Options{
+			Epsilon: s.cfg.Epsilon,
+			Solver: sat.Config{
+				MaxConflicts:    s.cfg.MaxConflicts,
+				MaxPropagations: s.cfg.MaxPropagations,
+				GaussJordan:     s.cfg.GaussJordan,
+			},
+			ApproxMCRounds: s.cfg.ApproxMCRounds,
+		})
+	}
+	if err != nil {
+		s.store.Quarantine(key, err)
+		return nil, false
+	}
+	return &prepared{
+		setup:       su,
+		prepStats:   su.SetupStats(),
+		fingerprint: hex.EncodeToString(fp[:]),
+		fromDisk:    true,
+	}, true
 }
 
 // Sample draws req.N almost-uniform witnesses. Cache hits skip straight
@@ -460,7 +566,7 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
 	psp := ro.tr.Root().StartSpan("prepare")
-	prep, hit, err := s.prepare(ctx, req.Formula)
+	prep, hit, err := s.prepare(ctx, req.Formula, psp)
 	psp.SetInt("cache_hit", boolInt(hit))
 	psp.End()
 	if err != nil {
@@ -540,7 +646,7 @@ func (s *Service) Count(ctx context.Context, req CountRequest) (res *CountResult
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
 	psp := ro.tr.Root().StartSpan("prepare")
-	prep, hit, err := s.prepare(ctx, req.Formula)
+	prep, hit, err := s.prepare(ctx, req.Formula, psp)
 	psp.SetInt("cache_hit", boolInt(hit))
 	psp.End()
 	if err != nil {
@@ -607,6 +713,7 @@ func (s *Service) Close(ctx context.Context) error {
 
 	select {
 	case <-done:
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 	}
@@ -621,7 +728,17 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	<-done
+	s.closeStore()
 	return ctx.Err()
+}
+
+// closeStore drains the persistent store's write-behind queue so a
+// clean shutdown persists every prepared formula accepted for writing
+// — the warm-restart contract. Idempotent, like Close itself.
+func (s *Service) closeStore() {
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // Stats is the full observability snapshot behind /stats: the
@@ -632,6 +749,7 @@ func (s *Service) Close(ctx context.Context) error {
 // state.
 type Stats struct {
 	CacheStats
+	Store     StoreStats     `json:"store"` // disk tier of the prepared-formula cache
 	Admission AdmissionStats `json:"admission"`
 	Outcomes  OutcomeStats   `json:"outcomes"`
 	Solver    SolverTotals   `json:"solver"`  // sampling-phase work across finished requests
@@ -639,11 +757,50 @@ type Stats struct {
 	State     HealthState    `json:"state"`
 }
 
-// Stats snapshots the cache, admission gate, outcome counters, and
-// cumulative solver-work totals.
+// StoreStats is the persistent-store block of /stats (DESIGN §12).
+// All-zero with Enabled=false when the service runs without a disk
+// tier.
+type StoreStats struct {
+	Enabled        bool   `json:"enabled"`
+	Dir            string `json:"dir,omitempty"`
+	MaxBytes       int64  `json:"max_bytes,omitempty"`
+	Hits           int64  `json:"hits"`
+	Misses         int64  `json:"misses"`
+	Writes         int64  `json:"writes"`
+	WriteErrors    int64  `json:"write_errors"`
+	Evictions      int64  `json:"evictions"`
+	CorruptEntries int64  `json:"corrupt_entries"`
+	Bytes          int64  `json:"bytes"`
+	Entries        int    `json:"entries"`
+}
+
+// storeStats snapshots the disk tier (zero value when disabled).
+func (s *Service) storeStats() StoreStats {
+	if s.store == nil {
+		return StoreStats{}
+	}
+	st := s.store.Stats()
+	return StoreStats{
+		Enabled:        true,
+		Dir:            s.store.Dir(),
+		MaxBytes:       s.store.MaxBytes(),
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Writes:         st.Writes,
+		WriteErrors:    st.WriteErrors,
+		Evictions:      st.Evictions,
+		CorruptEntries: st.CorruptEntries,
+		Bytes:          st.Bytes,
+		Entries:        st.Entries,
+	}
+}
+
+// Stats snapshots the cache (both tiers), admission gate, outcome
+// counters, and cumulative solver-work totals.
 func (s *Service) Stats() Stats {
 	return Stats{
 		CacheStats: s.cache.stats(),
+		Store:      s.storeStats(),
 		Admission:  s.adm.snapshot(),
 		Outcomes:   s.out.snapshot(),
 		Solver:     s.work.snapshot(),

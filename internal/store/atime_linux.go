@@ -1,0 +1,19 @@
+//go:build linux
+
+package store
+
+import (
+	"io/fs"
+	"syscall"
+	"time"
+)
+
+// atimeOf returns the file's access time. The eviction scan orders
+// entries by it; Get refreshes it explicitly with Chtimes because
+// relatime/noatime mounts do not update atime on reads.
+func atimeOf(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

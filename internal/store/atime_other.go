@@ -1,0 +1,15 @@
+//go:build !linux
+
+package store
+
+import (
+	"io/fs"
+	"time"
+)
+
+// atimeOf falls back to the modification time on platforms without a
+// portable access-time field. Get refreshes both stamps with Chtimes,
+// so recency ordering still works.
+func atimeOf(fi fs.FileInfo) time.Time {
+	return fi.ModTime()
+}

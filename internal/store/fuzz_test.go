@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"unigen/internal/cnf"
+	"unigen/internal/core"
+	"unigen/internal/randx"
+)
+
+// FuzzDecodeSetup pins the two codec robustness properties the disk
+// tier depends on: arbitrary bytes never panic the decoder (a hostile
+// or rotted store entry must degrade to a cold prepare, not crash the
+// daemon), and every accepted input is a fixpoint of Encode∘Decode (so
+// a re-persisted entry is byte-identical and CRC-stable).
+func FuzzDecodeSetup(f *testing.F) {
+	valid := func(build func() *cnf.Formula) []byte {
+		g := build()
+		su, err := core.NewSetup(g, randx.New(core.PrepSeed(g, nil)), core.Options{
+			Epsilon:        6,
+			ApproxMCRounds: 5,
+		})
+		if err != nil {
+			f.Fatalf("NewSetup: %v", err)
+		}
+		blob, err := su.Encode()
+		if err != nil {
+			f.Fatalf("Encode: %v", err)
+		}
+		return blob
+	}
+
+	easy := valid(func() *cnf.Formula {
+		g := cnf.New(3)
+		g.AddClause(1, 2)
+		g.AddClause(-2, 3)
+		return g
+	})
+	hashing := valid(func() *cnf.Formula {
+		g := cnf.New(12)
+		g.AddClause(11, 12)
+		g.SamplingSet = []cnf.Var{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		return g
+	})
+
+	// ≥6 seeds: two valid blobs, a truncated valid blob, a bit-flipped
+	// valid blob, a bare magic with garbage, and empty input.
+	f.Add(easy)
+	f.Add(hashing)
+	f.Add(easy[:len(easy)/2])
+	flipped := bytes.Clone(hashing)
+	flipped[len(flipped)/2] ^= 0x20
+	f.Add(flipped)
+	f.Add([]byte("UGSU\x01\x00\xff\xff\xff\xffgarbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = core.VerifySetupFrame(data) // must not panic
+		su, err := core.DecodeSetup(data, core.Options{})
+		if err != nil {
+			return
+		}
+		re, err := su.Encode()
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("Encode∘Decode not a fixpoint:\n in  %x\n out %x", data, re)
+		}
+	})
+}

@@ -37,6 +37,14 @@ type ServiceOptions struct {
 	Workers int
 	// CacheSize bounds the prepared-formula LRU cache (default 64).
 	CacheSize int
+	// StoreDir enables the persistent prepared-formula store: a disk
+	// tier under the RAM cache that survives restarts ("" disables it).
+	// Prepared formulas are rehydrated from disk instead of re-running
+	// the setup, and new preparations are persisted in the background.
+	StoreDir string
+	// StoreMaxBytes caps the persistent store's size; least-recently-
+	// accessed entries are evicted beyond it (0 = unlimited).
+	StoreMaxBytes int64
 
 	// Overload safety (zero values keep the permissive behavior: no
 	// gate, no queue, no quotas, no deadlines).
@@ -106,6 +114,8 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		ApproxMCRounds:  opts.ApproxMCRounds,
 		Workers:         opts.Workers,
 		CacheSize:       opts.CacheSize,
+		StoreDir:        opts.StoreDir,
+		StoreMaxBytes:   opts.StoreMaxBytes,
 		MaxInFlight:     opts.MaxInFlight,
 		MaxQueue:        opts.MaxQueue,
 		QueueWait:       opts.QueueWait,
@@ -184,6 +194,7 @@ type ServiceStats struct {
 	Capacity  int
 	Formulas  []ServiceFormulaStats // most recently used first
 
+	Store     service.StoreStats     // persistent disk tier (zero when disabled)
 	Admission service.AdmissionStats // concurrency gate snapshot
 	Outcomes  service.OutcomeStats   // finished requests by outcome
 	Solver    service.SolverTotals   // cumulative solver work of finished sampling
@@ -209,6 +220,7 @@ func (s *Service) Stats() ServiceStats {
 		Evictions: st.Evictions,
 		Size:      st.Size,
 		Capacity:  st.Capacity,
+		Store:     st.Store,
 		Admission: st.Admission,
 		Outcomes:  st.Outcomes,
 		Solver:    st.Solver,

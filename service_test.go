@@ -107,6 +107,40 @@ func TestSamplesBitIdenticalAcrossTransports(t *testing.T) {
 		}
 	}
 
+	// Transport 4: warm restart through the persistent store. A first
+	// service lifetime prepares under a different seed and drains its
+	// write-behind queue; a second lifetime on the same directory must
+	// rehydrate from disk (no RAM hit, one store hit) and still serve
+	// seed 2014 bit-identically.
+	dir := t.TempDir()
+	warm, err := unigen.NewService(unigen.ServiceOptions{Epsilon: 6, ApproxMCRounds: 15, Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Sample(context.Background(), f, 77, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	restarted, err := unigen.NewService(unigen.ServiceOptions{Epsilon: 6, ApproxMCRounds: 15, Workers: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rws, err := restarted.Sample(context.Background(), f, seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bitstrings(rws, vars); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("warm-restart samples diverged from Sampler:\n restart: %v\n sampler: %v", got, ref)
+	}
+	if st := restarted.Stats(); st.Store.Hits != 1 || st.Hits != 0 {
+		t.Fatalf("restart stats: store hits %d / RAM hits %d, want 1 / 0", st.Store.Hits, st.Hits)
+	}
+	if err := restarted.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
 	// The multiset must also be worker-count independent end to end.
 	s4, err := unigen.NewSampler(f, unigen.Options{Epsilon: 6, Seed: seed, ApproxMCRounds: 15, Workers: 4})
 	if err != nil {

@@ -16,10 +16,20 @@
 //	                         "trace_id": "…", "stats": {...}}
 //	POST /count           {"formula": "<dimacs>"}
 //	                      → {"count": "1024", "exact": false, ...}
+//
+// Both accept the delta request shape instead of a formula: {"base":
+// "<hex fingerprint of a prepared formula>", "assumptions": [3, -7],
+// ...} samples (or counts) base ∧ assumptions on pooled warm solver
+// sessions over the base — no DIMACS re-parse, no solver rebuild —
+// with witnesses bit-identical to posting the conjoined formula at the
+// same seed. An unknown base returns 404; -pool caps idle sessions per
+// base and -delta-window tunes when a diverged delta is promoted to a
+// first-class cache entry.
+//
 //	GET  /healthz         → {"ok": true, "state": "ok"|"overloaded"|"draining",
 //	                         "uptime_seconds": 12.3, "version": "…"}
-//	GET  /stats           → cache, admission, outcome, and cumulative
-//	                        solver-work counters
+//	GET  /stats           → cache, admission, outcome, delta/session-pool,
+//	                        and cumulative solver-work counters
 //	GET  /metrics         → Prometheus text exposition (DESIGN §10)
 //	GET  /debug/requests  → recent slow/failed requests with span trees
 //
@@ -75,6 +85,8 @@ func main() {
 	cache := flag.Int("cache", 64, "max prepared formulas kept (LRU)")
 	storeDir := flag.String("store-dir", "", "directory for the persistent prepared-formula store (empty = off)")
 	storeMax := flag.Int64("store-max-bytes", 0, "max bytes the persistent store may hold before evicting least-recently-accessed entries (0 = unlimited)")
+	pool := flag.Int("pool", 0, "max idle delta sessions pooled per base formula (0 = 8)")
+	deltaWindow := flag.Int("delta-window", 0, "hash-width divergence beyond which a delta entry is promoted to first-class (0 = 3, negative = always)")
 	jobs := flag.Int("j", 0, "default per-request sampling workers (0 = all CPUs)")
 	budget := flag.Int64("budget", 0, "conflict budget per SAT call (0 = unlimited)")
 	gauss := flag.Bool("gauss", false, "enable Gauss-Jordan XOR preprocessing")
@@ -125,6 +137,8 @@ func main() {
 		CacheSize:      *cache,
 		StoreDir:       *storeDir,
 		StoreMaxBytes:  *storeMax,
+		SessionPool:    *pool,
+		DeltaQWindow:   *deltaWindow,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,

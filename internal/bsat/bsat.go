@@ -22,6 +22,7 @@ package bsat
 import (
 	"errors"
 	"slices"
+	"sync/atomic"
 
 	"unigen/internal/cnf"
 	"unigen/internal/faultpoint"
@@ -82,6 +83,7 @@ type Session struct {
 	colMap   []int32         // hash column → solver XOR column (nil: identity)
 	retired  []*sat.Selector // constraints of the previous call, released lazily
 	assumps  []cnf.Lit       // scratch: activation literals for the current call
+	base     []cnf.Lit       // standing assumption literals (delta requests)
 	blockBuf cnf.Clause      // scratch: blocking clause, reused across witnesses
 	selCount int             // selectors allocated since the last (re)build
 	calls    int             // Enumerate calls served (inprocessing cadence)
@@ -123,6 +125,37 @@ func (se *Session) registerColumns() {
 
 // SamplingSet returns the variables blocking clauses range over.
 func (se *Session) SamplingSet() []cnf.Var { return se.vars }
+
+// SetAssumptions installs standing assumption literals: every subsequent
+// Enumerate solves F ∧ lits ∧ h, i.e. the session temporarily behaves as
+// a session over the conjoined formula. The literals ride each Solve
+// call as plain assumptions — never installed as constraints — so they
+// cost nothing to set or clear, survive rebuilds, and cannot taint the
+// solver. Pass nil to clear. The slice is copied.
+func (se *Session) SetAssumptions(lits []cnf.Lit) {
+	se.base = append(se.base[:0], lits...)
+}
+
+// Assumptions returns the standing assumption literals (shared slice;
+// callers must not mutate).
+func (se *Session) Assumptions() []cnf.Lit { return se.base }
+
+// SetInterrupt repoints the cooperative-interrupt flag for both the
+// session's stall-polling and the underlying solver. Pooled sessions use
+// this at check-out/check-in so each request owns its own flag.
+func (se *Session) SetInterrupt(intr *atomic.Bool) {
+	se.cfg.Interrupt = intr
+	se.s.SetInterrupt(intr)
+}
+
+// SetBudgets replaces the per-Solve conflict/propagation budgets on the
+// live solver and on the config used for future rebuilds. Zero means
+// unlimited.
+func (se *Session) SetBudgets(maxConflicts, maxPropagations int64) {
+	se.cfg.MaxConflicts = maxConflicts
+	se.cfg.MaxPropagations = maxPropagations
+	se.s.SetBudgets(maxConflicts, maxPropagations)
+}
 
 // rebuild replaces the solver with a fresh one loaded from the base
 // formula, dropping all removable constraints and learned clauses.
@@ -236,6 +269,11 @@ func (se *Session) Enumerate(n int, h *hashfam.Hash) Result {
 			acts = append(acts, sel.Lit())
 		}
 	}
+	// Standing assumptions (delta requests) ride every Solve of the cell
+	// after the hash activation literals; order within a call is fixed,
+	// so enumeration under a given (hash, assumptions) pair is
+	// deterministic.
+	acts = append(acts, se.base...)
 	var res Result
 	if emptyCell {
 		res.Exhausted = true

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"unigen/internal/bsat"
+	"unigen/internal/cnf"
+	"unigen/internal/counter"
+	"unigen/internal/randx"
+)
+
+// This file implements the conditioned-counting story behind delta
+// requests (DESIGN §13): given a prepared base Setup for F and a small
+// set of assumption literals A, derive a full-fidelity Setup for F ∧ A
+// without re-ingesting the formula — the enumeration and ApproxMC
+// estimate run on a pooled session carrying A as standing assumptions.
+//
+// Soundness rule: the conditioned setup runs the *same* algorithm, with
+// the same parameters (ε' = 0.8, δ' = 0.2) and an RNG seeded from the
+// conjoined formula's fingerprint, as a cold NewSetup over F ∧ A would.
+// Because every BSAT cell probe is an exact bounded enumeration, its
+// outcome is independent of the session's accumulated solver state, so
+// the conditioned estimate — and therefore q, the hash widths, and the
+// sampled witnesses' sampling-set projections — is bit-identical to the
+// cold path. The pivot/κ thresholds derive from ε alone and carry over
+// unchanged.
+
+// NormalizeAssumptions sorts assumption literals by variable (negative
+// phase first) and removes exact duplicates, yielding the canonical
+// form delta cache keys and session assumptions use. Contradictory
+// pairs (v and ¬v) are preserved: the conditioned formula is simply
+// unsatisfiable, exactly as the conjoined formula with both unit
+// clauses would be.
+func NormalizeAssumptions(lits []cnf.Lit) []cnf.Lit {
+	out := append([]cnf.Lit(nil), lits...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var() != out[j].Var() {
+			return out[i].Var() < out[j].Var()
+		}
+		return out[i].Neg() && !out[j].Neg()
+	})
+	w := 0
+	for i, l := range out {
+		if i == 0 || l != out[i-1] {
+			out[w] = l
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Conjoin returns a private clone of the setup's formula with each
+// assumption literal added as a unit clause — the formula a client
+// would have posted wholesale to get the same witness distribution.
+// Its fingerprint keys the delta's cache entry, so a later request
+// posting the conjoined DIMACS text hits the same prepared state.
+func (su *Setup) Conjoin(assumps []cnf.Lit) (*cnf.Formula, error) {
+	g := su.f.Clone()
+	for _, l := range assumps {
+		v := int(l.Var())
+		if v < 1 || v > su.f.NumVars {
+			return nil, fmt.Errorf("unigen: assumption literal %d out of range (formula has %d vars)", l.DIMACS(), su.f.NumVars)
+		}
+		g.AddClause(l.DIMACS())
+	}
+	return g, nil
+}
+
+// NumVars returns the variable count of the setup's formula.
+func (su *Setup) NumVars() int { return su.f.NumVars }
+
+// Easy reports whether the setup holds the exact witness list (lines
+// 5–7 of Algorithm 1) instead of an estimate.
+func (su *Setup) Easy() bool { return su.easySet }
+
+// Q returns the candidate-range endpoint q (line 10); zero in the easy
+// case, where no hashing happens.
+func (su *Setup) Q() int { return su.q }
+
+// SetupWith runs the once-per-formula phase of UniGen for F ∧ A on an
+// existing session that already carries A as standing assumptions
+// (bsat.Session.SetAssumptions), returning a Setup over the conjoined
+// formula conj (as built by Conjoin). The caller owns the session's
+// lifecycle — assumptions are neither installed nor cleared here — and
+// supplies the RNG, which must be seeded from the conjoined formula's
+// fingerprint for the cold-path identity to hold.
+//
+// The base setup contributes κ/pivot (functions of ε only) and its
+// options; the enumeration and, when the conditioned space is still
+// above hiThresh, the ApproxMC estimate are recomputed under the
+// assumptions. A base in the easy case always yields an easy
+// conditioned setup (R_{F∧A} ⊆ R_F).
+func (su *Setup) SetupWith(sess *bsat.Session, conj *cnf.Formula, rng *randx.RNG) (*Setup, error) {
+	opts := su.opts
+	// The base options may carry the base prepare-flight's interrupt
+	// flag; sessions built later over the conditioned setup must not
+	// share it.
+	opts.Solver.Interrupt = nil
+	cond := &Setup{f: conj, s: su.s, kp: su.kp, opts: opts}
+
+	// Lines 4–7 under assumptions: if F ∧ A has at most hiThresh
+	// witnesses, enumerate them once and sample by index forever after.
+	// The stored base easy list cannot be filtered instead: its
+	// representatives are arbitrary on non-sampling variables, so a
+	// representative violating A does not mean the projected witness
+	// does.
+	res := sess.Enumerate(su.kp.HiThresh+1, nil)
+	if res.BudgetExceeded {
+		return nil, fmt.Errorf("%w (conditioned easy-case enumeration)", ErrBudget)
+	}
+	cond.base.BSATCalls++
+	cond.base.addSolverStats(res.Stats)
+	if len(res.Witnesses) <= su.kp.HiThresh {
+		cond.easy = res.Witnesses
+		sortWitnesses(cond.easy, cond.s)
+		cond.easySet = true
+		cond.base.EasyCase = true
+		return cond, nil
+	}
+
+	// Line 9 under assumptions: C ← ApproxMC(F ∧ A, 0.8, 0.8-confidence)
+	// on the pooled session — same parameters, same RNG consumption, and
+	// exact cell probes, hence the same estimate as a cold run.
+	amc, err := counter.ApproxMCSession(sess, rng, counter.ApproxMCOptions{
+		Epsilon:       0.8,
+		Delta:         0.2,
+		SamplingSet:   su.s,
+		Solver:        opts.Solver,
+		MaxHashRounds: opts.ApproxMCRounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("unigen: conditioned ApproxMC: %w", err)
+	}
+	cond.est = amc.Count
+	cond.base.SetupRounds = amc.Rounds
+
+	// Line 10, conditioned: q′ ← ⌈log₂ C′ + log₂ 1.8 − log₂ pivot⌉.
+	logC := bigLog2(amc.Count)
+	q := int(math.Ceil(logC + math.Log2(1.8) - math.Log2(float64(su.kp.Pivot))))
+	if q < 1 {
+		q = 1
+	}
+	if q > len(cond.s) {
+		q = len(cond.s)
+	}
+	cond.q = q
+	cond.base.Q = q
+	return cond, nil
+}
+
+// DivergedFrom reports whether the conditioned setup's count moved so
+// far from the base's that serving it through the base's session pool
+// stops paying: both in the hashing regime with hash widths more than
+// window apart. This is purely an affinity policy — the conditioned
+// setup is full-fidelity either way — so diverged deltas get promoted
+// to first-class prepared entries with their own sessions. Transitions
+// into the easy case never diverge: easy serving does no solver work at
+// all.
+func (cond *Setup) DivergedFrom(base *Setup, window int) bool {
+	if cond.easySet || base.easySet {
+		return false
+	}
+	d := cond.q - base.q
+	if d < 0 {
+		d = -d
+	}
+	return d > window
+}

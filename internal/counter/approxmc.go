@@ -78,6 +78,28 @@ func iterAMC(delta float64) int {
 // the DAC'14 experimental setup ("we disable this optimization since it
 // nullifies the theoretical guarantees").
 func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCResult, error) {
+	vars := opts.SamplingSet
+	if len(vars) == 0 {
+		vars = f.SamplingVars()
+	}
+	opts.SamplingSet = vars
+
+	// One incremental BSAT session serves the base call and every cell
+	// probe of every round: the formula is ingested once and learned
+	// clauses amortize across the whole leapfrog/linear search over m.
+	sess := bsat.NewSession(f, bsat.Options{SamplingSet: vars, Solver: opts.Solver})
+	return ApproxMCSession(sess, rng, opts)
+}
+
+// ApproxMCSession runs the ApproxMC algorithm on a caller-supplied
+// session instead of building one. This is the conditioned-counting
+// entry used by delta requests: a pooled session carrying standing
+// assumption literals (bsat.Session.SetAssumptions) makes this count
+// |R_{F∧A}↓S| — and because every cell probe is an exact bounded
+// enumeration, the estimates (and hence the derived hash width q) are
+// identical to a cold ApproxMC run over the conjoined formula at the
+// same RNG, regardless of the session's accumulated solver state.
+func ApproxMCSession(sess *bsat.Session, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCResult, error) {
 	if opts.Epsilon <= 0 {
 		return ApproxMCResult{}, fmt.Errorf("counter: epsilon must be positive, got %v", opts.Epsilon)
 	}
@@ -86,18 +108,13 @@ func ApproxMC(f *cnf.Formula, rng *randx.RNG, opts ApproxMCOptions) (ApproxMCRes
 	}
 	vars := opts.SamplingSet
 	if len(vars) == 0 {
-		vars = f.SamplingVars()
+		vars = sess.SamplingSet()
 	}
 	pivot := pivotAMC(opts.Epsilon)
 	t := iterAMC(opts.Delta)
 	if opts.MaxHashRounds > 0 && opts.MaxHashRounds < t {
 		t = opts.MaxHashRounds
 	}
-
-	// One incremental BSAT session serves the base call and every cell
-	// probe of every round: the formula is ingested once and learned
-	// clauses amortize across the whole leapfrog/linear search over m.
-	sess := bsat.NewSession(f, bsat.Options{SamplingSet: vars, Solver: opts.Solver})
 
 	// Quick exit: if |R_F↓S| <= pivot the count is exact.
 	n, res := sess.Count(pivot+1, nil)

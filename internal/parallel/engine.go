@@ -122,9 +122,27 @@ type Engine struct {
 	setup    *core.Setup
 	sessions []*bsat.Session // one per worker, owned exclusively during SampleN
 	seed     uint64
-	next     uint64       // absolute index of the first round of the next SampleN
-	stats    core.Stats   // setup stats merged with all consumed round deltas
-	intr     *atomic.Bool // shared by every session's solver config
+	next     uint64         // absolute index of the first round of the next SampleN
+	stats    core.Stats     // setup stats merged with all consumed round deltas
+	intr     *atomic.Bool   // shared by every session's solver config
+	flags    []*atomic.Bool // every interrupt flag raised/cleared together
+	doomed   []bool         // per-session: a round panicked on this session
+}
+
+// raiseIntr and clearIntr flip every interrupt flag the engine's
+// sessions listen on. Engines built by NewEngine/NewEngineFromSetup
+// have a single shared flag; leased (pooled) sessions each carry their
+// own, so cancellation must fan out.
+func (e *Engine) raiseIntr() {
+	for _, f := range e.flags {
+		f.Store(true)
+	}
+}
+
+func (e *Engine) clearIntr() {
+	for _, f := range e.flags {
+		f.Store(false)
+	}
 }
 
 // NewEngine runs the ApproxMC setup once and builds one solver session
@@ -139,6 +157,7 @@ func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{seed: opts.MasterSeed, intr: new(atomic.Bool)}
+	e.flags = []*atomic.Bool{e.intr}
 	co := opts.Core
 	co.Solver.Interrupt = e.intr
 	su, err := core.NewSetup(f, randx.New(core.PrepSeed(f, co.SamplingSet)), co)
@@ -151,6 +170,7 @@ func NewEngine(f *cnf.Formula, opts Options) (*Engine, error) {
 	for i := range e.sessions {
 		e.sessions[i] = su.NewSession()
 	}
+	e.doomed = make([]bool, w)
 	return e, nil
 }
 
@@ -170,6 +190,7 @@ func NewEngineFromSetup(su *core.Setup, opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{setup: su, seed: opts.MasterSeed, intr: new(atomic.Bool)}
+	e.flags = []*atomic.Bool{e.intr}
 	cfg := su.SolverConfig()
 	if mc := opts.Core.Solver.MaxConflicts; mc != 0 {
 		cfg.MaxConflicts = mc
@@ -182,8 +203,44 @@ func NewEngineFromSetup(su *core.Setup, opts Options) *Engine {
 	for i := range e.sessions {
 		e.sessions[i] = su.NewSessionWith(cfg)
 	}
+	e.doomed = make([]bool, w)
 	return e
 }
+
+// Lease is a checked-out pooled session handed to NewEngineWithSessions:
+// the session (typically carrying standing assumption literals for a
+// delta request) plus the private interrupt flag its solver polls.
+type Lease struct {
+	Sess *bsat.Session
+	Intr *atomic.Bool
+}
+
+// NewEngineWithSessions builds an engine over caller-owned sessions —
+// the delta-request path, where a session pool lends per-worker sessions
+// that already carry the request's assumptions and budgets. The pool
+// size is len(leases). The engine raises and clears every lease's
+// interrupt flag together for cancellation, but never touches budgets or
+// assumptions: check-out/check-in hygiene is the pool's job. After
+// SampleN returns, Doomed reports which leased sessions a round panicked
+// on, so the pool can retire them instead of re-pooling corrupted state.
+func NewEngineWithSessions(su *core.Setup, leases []Lease, masterSeed uint64) *Engine {
+	e := &Engine{setup: su, seed: masterSeed, intr: new(atomic.Bool)}
+	e.flags = []*atomic.Bool{e.intr}
+	e.sessions = make([]*bsat.Session, len(leases))
+	for i, l := range leases {
+		e.sessions[i] = l.Sess
+		if l.Intr != nil {
+			e.flags = append(e.flags, l.Intr)
+		}
+	}
+	e.doomed = make([]bool, len(leases))
+	return e
+}
+
+// Doomed reports, per worker session, whether a sampling round panicked
+// on it during this engine's lifetime. Valid after Sample/SampleN
+// return; session pools consult it at check-in.
+func (e *Engine) Doomed() []bool { return e.doomed }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return len(e.sessions) }
@@ -215,6 +272,9 @@ func (e *Engine) Sample(ctx context.Context) (cnf.Assignment, error) {
 		case errors.Is(err, core.ErrFailed):
 			// ⊥ round: try the next round in the stream.
 		default:
+			if errors.Is(err, ErrRoundPanic) {
+				e.doomed[0] = true
+			}
 			return nil, err
 		}
 	}
@@ -253,7 +313,7 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	e.intr.Store(false)
+	e.clearIntr()
 
 	// Forward ctx cancellation to every in-flight solver call.
 	watchDone := make(chan struct{})
@@ -262,7 +322,7 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 		defer close(watcherGone)
 		select {
 		case <-ctx.Done():
-			e.intr.Store(true)
+			e.raiseIntr()
 		case <-watchDone:
 		}
 	}()
@@ -274,9 +334,9 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 		wg        sync.WaitGroup
 	)
 	parentSpan := obs.SpanFrom(ctx)
-	for _, sess := range e.sessions {
+	for wi, sess := range e.sessions {
 		wg.Add(1)
-		go func(sess *bsat.Session) {
+		go func(wi int, sess *bsat.Session) {
 			defer wg.Done()
 			for !stop.Load() {
 				idx := dispenser.Add(1) - 1
@@ -285,6 +345,11 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 				sp, endRound := traceRound(parentSpan, e.next+idx)
 				w, err := runRound(e.setup, sess, rng, &st, sp)
 				endRound(&st, err)
+				if errors.Is(err, ErrRoundPanic) {
+					// Written only by this worker, read after wg.Wait:
+					// the panicked session must not return to a pool.
+					e.doomed[wi] = true
+				}
 				if err != nil && !errors.Is(err, ErrRoundPanic) && ctx.Err() != nil {
 					// Interrupt-induced budget errors masquerade as
 					// ErrBudget; report the cancellation instead. Panics
@@ -294,7 +359,7 @@ func (e *Engine) SampleN(ctx context.Context, n int) ([]cnf.Assignment, error) {
 				}
 				results <- roundResult{idx: idx, w: w, stats: st, err: err}
 			}
-		}(sess)
+		}(wi, sess)
 	}
 
 	// Collector: consume rounds strictly in index order — that is what
@@ -337,7 +402,7 @@ collect:
 	// Shut the pool down without stranding a worker on a full results
 	// channel: drain until every worker has exited.
 	stop.Store(true)
-	e.intr.Store(true) // hasten rounds already in flight; discarded anyway
+	e.raiseIntr() // hasten rounds already in flight; discarded anyway
 	go func() {
 		for range results {
 		}
@@ -346,7 +411,7 @@ collect:
 	close(results)
 	close(watchDone)
 	<-watcherGone
-	e.intr.Store(false)
+	e.clearIntr()
 
 	// Later SampleN calls continue the round stream where this call's
 	// consumed prefix ended, preserving end-to-end reproducibility of

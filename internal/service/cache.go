@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unigen/internal/cnf"
 	"unigen/internal/core"
 )
 
@@ -20,6 +21,24 @@ type prepared struct {
 	prepStats   core.Stats
 	fingerprint string // lowercase hex
 	fromDisk    bool   // rehydrated from the persistent store (DESIGN §12)
+
+	// Delta entries (DESIGN §13): a conditioned setup prepared from a
+	// cached base under assumption literals. Non-diverged deltas keep a
+	// reference to their base entry and serve sampling rounds through
+	// the base's session pool with `assumps` installed as standing
+	// assumptions; diverged deltas (base and nil assumps) are
+	// first-class entries served like any cold-prepared formula.
+	delta    bool
+	diverged bool
+	base     *prepared // nil unless a non-diverged delta
+	assumps  []cnf.Lit // normalized assumption literals (non-diverged delta)
+	baseFP   string    // base fingerprint, lowercase hex (delta entries)
+
+	// pool lends per-worker sessions over this entry's setup to delta
+	// requests that name it as their base. Built lazily on the first
+	// delta request; nil until then.
+	poolOnce sync.Once
+	pool     *sessionPool
 
 	requests atomic.Int64 // sample + count requests served from this entry
 	samples  atomic.Int64 // witnesses returned
@@ -213,6 +232,11 @@ type FormulaStats struct {
 	Requests    int64  `json:"requests"`
 	Samples     int64  `json:"samples"`
 	Counts      int64  `json:"counts"`
+	// Delta marks entries prepared from a base formula under assumption
+	// literals; Base names the base entry's fingerprint (empty for
+	// diverged deltas promoted to first-class entries).
+	Delta bool   `json:"delta,omitempty"`
+	Base  string `json:"base,omitempty"`
 }
 
 // counts returns just the scalar counters — the cheap accessor the
@@ -238,13 +262,18 @@ func (c *prepCache) stats() CacheStats {
 		if !e.ready || e.prep == nil {
 			continue // preparation still in flight
 		}
-		st.Formulas = append(st.Formulas, FormulaStats{
+		fs := FormulaStats{
 			Fingerprint: e.prep.fingerprint,
 			EasyCase:    e.prep.prepStats.EasyCase,
 			Requests:    e.prep.requests.Load(),
 			Samples:     e.prep.samples.Load(),
 			Counts:      e.prep.counts.Load(),
-		})
+			Delta:       e.prep.delta,
+		}
+		if e.prep.base != nil {
+			fs.Base = e.prep.baseFP
+		}
+		st.Formulas = append(st.Formulas, fs)
 	}
 	return st
 }

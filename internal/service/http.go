@@ -34,10 +34,18 @@ const TraceHeader = "X-Unigen-Trace"
 // SampleHTTPRequest is the JSON body of POST /sample.
 type SampleHTTPRequest struct {
 	// Formula is DIMACS CNF text, honoring "c ind" sampling-set lines
-	// and "x" XOR-clause lines.
-	Formula string `json:"formula"`
+	// and "x" XOR-clause lines. Mutually exclusive with Base.
+	Formula string `json:"formula,omitempty"`
 	N       int    `json:"n"`
 	Seed    uint64 `json:"seed"`
+	// Base names a previously prepared formula by its hex fingerprint
+	// for a delta request (DESIGN §13): the service samples Base ∧
+	// Assumptions on pooled warm sessions without re-ingesting the
+	// formula. Unknown fingerprints return 404.
+	Base string `json:"base,omitempty"`
+	// Assumptions are signed DIMACS literals conjoined to the base as
+	// unit clauses; valid only with Base.
+	Assumptions []int `json:"assumptions,omitempty"`
 	// Workers overrides the service's per-request pool size when > 0.
 	Workers int `json:"workers,omitempty"`
 	// MaxConflicts overrides the per-call conflict budget when > 0.
@@ -64,6 +72,7 @@ type SampleHTTPResponse struct {
 	Witnesses   []string       `json:"witnesses"`
 	CacheHit    bool           `json:"cache_hit"`
 	Fingerprint string         `json:"fingerprint"`
+	Delta       bool           `json:"delta,omitempty"` // served through the delta path
 	Stats       HTTPStatsBlock `json:"stats"`
 	TraceID     string         `json:"trace_id"`
 	Trace       *obs.SpanView  `json:"trace,omitempty"` // present when the request set "trace": true
@@ -80,11 +89,14 @@ type HTTPStatsBlock struct {
 	XORRows      int64 `json:"xor_rows"`
 }
 
-// CountHTTPRequest is the JSON body of POST /count.
+// CountHTTPRequest is the JSON body of POST /count. Base and
+// Assumptions form a delta request exactly as in SampleHTTPRequest.
 type CountHTTPRequest struct {
-	Formula   string `json:"formula"`
-	Tenant    string `json:"tenant,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Formula     string `json:"formula,omitempty"`
+	Base        string `json:"base,omitempty"`
+	Assumptions []int  `json:"assumptions,omitempty"`
+	Tenant      string `json:"tenant,omitempty"`
+	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
 }
 
 // CountHTTPResponse is the JSON body of a successful POST /count. Count
@@ -94,6 +106,7 @@ type CountHTTPResponse struct {
 	Exact       bool   `json:"exact"`
 	CacheHit    bool   `json:"cache_hit"`
 	Fingerprint string `json:"fingerprint"`
+	Delta       bool   `json:"delta,omitempty"` // served through the delta path
 }
 
 // HealthzHTTPResponse is the JSON body of GET /healthz. OK stays true
@@ -121,6 +134,7 @@ type StatsHTTPResponse struct {
 	Outcomes  OutcomeStats   `json:"outcomes"`
 	Solver    SolverTotals   `json:"solver"`  // sampling work across finished requests
 	Prepare   SolverTotals   `json:"prepare"` // preparation-flight work
+	Delta     DeltaStats     `json:"delta"`   // delta requests and the session-pool fleet
 	State     HealthState    `json:"state"`
 }
 
@@ -131,7 +145,9 @@ type errorHTTPResponse struct {
 // NewHandler returns the HTTP transport of the service:
 //
 //	POST /sample          {"formula": "<dimacs>", "n": 10, "seed": 1}
-//	POST /count           {"formula": "<dimacs>"}
+//	                      or delta form: {"base": "<hex fingerprint>",
+//	                      "assumptions": [3, -7], "n": 10, "seed": 1}
+//	POST /count           {"formula": "<dimacs>"} or the delta form
 //	GET  /healthz
 //	GET  /stats
 //	GET  /metrics         Prometheus text exposition (DESIGN §10)
@@ -149,7 +165,7 @@ func NewHandler(s *Service) http.Handler {
 		if !s.decodeJSONPost(w, r, &req) {
 			return
 		}
-		f, ok := parseFormula(w, req.Formula)
+		f, ok := parseRequestFormula(w, req.Formula, req.Base)
 		if !ok {
 			return
 		}
@@ -159,6 +175,8 @@ func NewHandler(s *Service) http.Handler {
 			Formula:      f,
 			N:            req.N,
 			Seed:         req.Seed,
+			Base:         req.Base,
+			Assumptions:  req.Assumptions,
 			Workers:      req.Workers,
 			MaxConflicts: req.MaxConflicts,
 			Tenant:       tenantOf(r, req.Tenant),
@@ -173,6 +191,7 @@ func NewHandler(s *Service) http.Handler {
 			Witnesses:   make([]string, len(res.Witnesses)),
 			CacheHit:    res.CacheHit,
 			Fingerprint: res.Fingerprint,
+			Delta:       res.Delta,
 			TraceID:     tr.ID(),
 			Stats: HTTPStatsBlock{
 				Rounds:       res.Stats.Rounds(),
@@ -200,16 +219,18 @@ func NewHandler(s *Service) http.Handler {
 		if !s.decodeJSONPost(w, r, &req) {
 			return
 		}
-		f, ok := parseFormula(w, req.Formula)
+		f, ok := parseRequestFormula(w, req.Formula, req.Base)
 		if !ok {
 			return
 		}
 		tr := obs.NewTrace()
 		w.Header().Set(TraceHeader, tr.ID())
 		res, err := s.Count(obs.WithTrace(r.Context(), tr), CountRequest{
-			Formula: f,
-			Tenant:  tenantOf(r, req.Tenant),
-			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+			Formula:     f,
+			Base:        req.Base,
+			Assumptions: req.Assumptions,
+			Tenant:      tenantOf(r, req.Tenant),
+			Timeout:     time.Duration(req.TimeoutMS) * time.Millisecond,
 		})
 		if err != nil {
 			s.writeServiceError(w, err, false)
@@ -220,6 +241,7 @@ func NewHandler(s *Service) http.Handler {
 			Exact:       res.Exact,
 			CacheHit:    res.CacheHit,
 			Fingerprint: res.Fingerprint,
+			Delta:       res.Delta,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -259,6 +281,7 @@ func NewHandler(s *Service) http.Handler {
 			Outcomes:  st.Outcomes,
 			Solver:    st.Solver,
 			Prepare:   st.Prepare,
+			Delta:     st.Delta,
 			State:     st.State,
 		})
 	})
@@ -357,6 +380,18 @@ func parseFormula(w http.ResponseWriter, text string) (*cnf.Formula, bool) {
 	return f, true
 }
 
+// parseRequestFormula handles the formula/base duality of /sample and
+// /count bodies: a delta request (base set, formula empty) carries no
+// DIMACS text and parses nothing; any non-empty formula text must
+// parse, even alongside base — the service then rejects the ambiguous
+// combination as invalid.
+func parseRequestFormula(w http.ResponseWriter, text, base string) (*cnf.Formula, bool) {
+	if text == "" && base != "" {
+		return nil, true
+	}
+	return parseFormula(w, text)
+}
+
 // setRetryAfter attaches the configured Retry-After hint (whole
 // seconds, minimum 1) to a shed or draining response.
 func (s *Service) setRetryAfter(w http.ResponseWriter) {
@@ -398,6 +433,10 @@ func (s *Service) writeServiceError(w http.ResponseWriter, err error, clientBudg
 			status = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, status, errorHTTPResponse{Error: err.Error()})
+	case errors.Is(err, ErrUnknownBase):
+		// The delta base is not prepared on this node (anymore): the
+		// client must post the full formula once, then retry the delta.
+		writeJSON(w, http.StatusNotFound, errorHTTPResponse{Error: err.Error()})
 	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
 		writeJSON(w, http.StatusUnprocessableEntity, errorHTTPResponse{Error: err.Error()})
 	default:

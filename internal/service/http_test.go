@@ -2,11 +2,14 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"unigen/internal/service"
 )
@@ -122,6 +125,42 @@ func TestHTTPHealthz(t *testing.T) {
 	}
 	if body := decode[service.HealthzHTTPResponse](t, resp); !body.OK || body.State != service.HealthOK {
 		t.Fatalf("healthz body %+v", body)
+	}
+}
+
+// TestHTTPRetryAfterSubSecondClamp: a sub-second RetryAfter config must
+// not truncate to "Retry-After: 0" (which clients read as "retry
+// immediately" — exactly wrong for backpressure). The header is whole
+// seconds, clamped to at least 1.
+func TestHTTPRetryAfterSubSecondClamp(t *testing.T) {
+	svc, err := service.New(service.Config{ApproxMCRounds: 15, RetryAfter: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(ts.Close)
+
+	// Drain so /healthz answers 503 with the Retry-After hint attached.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer", ra)
+	}
+	if secs < 1 {
+		t.Fatalf("Retry-After %d: sub-second config truncated below 1s", secs)
 	}
 }
 

@@ -252,6 +252,26 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		return solverSamples(func(t SolverTotals) int64 { return t.ArenaBytes }, s.work.snapshot(), s.prep.snapshot())
 	})
 
+	// Delta sessions (DESIGN §13): request outcomes plus the session-pool
+	// fleet — check-out hit/miss, retirements, and the idle gauge.
+	r.CollectCounters("unigen_delta_requests_total", "Delta (base + assumptions) requests by result.", []string{"result"}, func() []obs.Sample {
+		return []obs.Sample{
+			{LabelValues: []string{"served"}, Value: float64(s.delta.served.Load())},
+			{LabelValues: []string{"unknown_base"}, Value: float64(s.delta.unknownBase.Load())},
+			{LabelValues: []string{"diverged"}, Value: float64(s.delta.diverged.Load())},
+		}
+	})
+	r.CollectCounters("unigen_session_pool_events_total", "Session-pool check-out/check-in events by kind across all per-base pools.", []string{"event"}, func() []obs.Sample {
+		return []obs.Sample{
+			{LabelValues: []string{"hit"}, Value: float64(s.poolTot.hits.Load())},
+			{LabelValues: []string{"miss"}, Value: float64(s.poolTot.misses.Load())},
+			{LabelValues: []string{"retired"}, Value: float64(s.poolTot.retired.Load())},
+		}
+	})
+	r.CollectGauges("unigen_session_pool_idle", "Sessions currently parked across all per-base pools.", nil, func() []obs.Sample {
+		return []obs.Sample{{Value: float64(s.poolTot.idle.Load())}}
+	})
+
 	// Process-level: uptime, build identity, and the debug ring volume.
 	r.CollectGauges("unigen_uptime_seconds", "Seconds since the service was constructed.", nil, func() []obs.Sample {
 		return []obs.Sample{{Value: time.Since(s.start).Seconds()}}
@@ -281,6 +301,8 @@ func outcomeName(err error) string {
 		return "timeout"
 	case errors.Is(err, ErrPanic), isRoundPanic(err):
 		return "panic"
+	case errors.Is(err, ErrUnknownBase):
+		return "unknown_base"
 	case errors.Is(err, ErrInvalidRequest), errors.Is(err, core.ErrUnsat):
 		return "invalid"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -91,6 +91,20 @@ type Config struct {
 	// default 64).
 	CacheSize int
 
+	// Delta sessions (DESIGN §13). A delta request names a prepared base
+	// by fingerprint plus assumption literals; the service derives the
+	// conditioned setup on a pooled session over the base instead of
+	// rebuilding a solver.
+
+	// SessionPool caps idle pooled sessions kept per base formula
+	// (default 8). Check-ins beyond the cap retire the session.
+	SessionPool int
+	// DeltaQWindow is the divergence window: a conditioned hash width
+	// further than this from the base's q promotes the delta entry to a
+	// first-class formula with its own sessions (default 3; negative
+	// promotes every non-easy delta).
+	DeltaQWindow int
+
 	// Persistent store (DESIGN §12). When StoreDir is set the RAM LRU
 	// grows a disk tier: preparation flights first try to rehydrate an
 	// encoded Setup from disk, and cold preparations are persisted via a
@@ -177,6 +191,11 @@ type Service struct {
 	prep   workTotals
 	start  time.Time
 
+	// Delta-session counters (DESIGN §13): request outcomes and the
+	// fleet-wide session-pool totals shared by every per-base pool.
+	delta   deltaTotals
+	poolTot poolTotals
+
 	mu       sync.Mutex // guards draining, active, activeSeq
 	idle     *sync.Cond // signalled when active drops to zero
 	draining bool
@@ -242,10 +261,18 @@ func New(cfg Config) (*Service, error) {
 	s.cache.onFlightDone = func(p *prepared, d time.Duration, err error) {
 		s.met.phaseSeconds.With("prepare").ObserveDuration(d)
 		switch {
+		case err != nil && errors.Is(err, ErrUnknownBase):
+			s.met.prepares.With("unknown_base").Inc()
 		case err != nil:
 			s.met.prepares.With("error").Inc()
 		case p.fromDisk:
 			s.met.prepares.With("disk_hit").Inc()
+		case p.delta && p.diverged:
+			s.met.prepares.With("delta_diverged").Inc()
+			s.prep.add(p.prepStats)
+		case p.delta:
+			s.met.prepares.With("delta").Inc()
+			s.prep.add(p.prepStats)
 		default:
 			s.met.prepares.With("ok").Inc()
 			s.prep.add(p.prepStats)
@@ -255,11 +282,21 @@ func New(cfg Config) (*Service, error) {
 }
 
 // SampleRequest asks for n almost-uniform witnesses of Formula drawn
-// with the given seed.
+// with the given seed. Alternatively (DESIGN §13) a delta request sets
+// Base — the hex fingerprint of a previously prepared formula — plus
+// Assumptions instead of Formula; the service samples the base formula
+// conjoined with the assumption unit clauses without re-ingesting it.
 type SampleRequest struct {
 	Formula *cnf.Formula
 	N       int
 	Seed    uint64
+	// Base is the 64-char hex fingerprint of the prepared base formula
+	// for a delta request; mutually exclusive with Formula.
+	Base string
+	// Assumptions are signed DIMACS literals conjoined to the base as
+	// unit clauses. Valid only with Base; empty means "sample the base
+	// itself by fingerprint".
+	Assumptions []int
 	// Workers overrides the service's per-request pool size when > 0.
 	Workers int
 	// MaxConflicts overrides the per-call conflict budget for this
@@ -283,11 +320,17 @@ type SampleResult struct {
 	Fingerprint string           // canonical formula fingerprint, hex
 	Stats       core.Stats       // this request's sampling rounds only (no setup share)
 	TraceID     string           // phase-trace identifier (X-Unigen-Trace over HTTP)
+	Delta       bool             // served through the delta path (base + assumptions)
 }
 
-// CountRequest asks for the prepared witness count of Formula.
+// CountRequest asks for the prepared witness count of Formula, or — as
+// a delta request — of Base ∧ Assumptions (see SampleRequest).
 type CountRequest struct {
 	Formula *cnf.Formula
+	// Base and Assumptions name a delta request exactly as in
+	// SampleRequest; mutually exclusive with Formula.
+	Base        string
+	Assumptions []int
 	// Tenant and Timeout behave exactly as in SampleRequest.
 	Tenant  string
 	Timeout time.Duration
@@ -302,6 +345,7 @@ type CountResult struct {
 	CacheHit    bool
 	Fingerprint string
 	TraceID     string
+	Delta       bool // served through the delta path (base + assumptions)
 }
 
 // ErrInvalidRequest tags request-validation failures (non-positive or
@@ -411,8 +455,7 @@ func (s *Service) prepare(ctx context.Context, f *cnf.Formula, psp *obs.Span) (*
 		return nil, false, fmt.Errorf("%w: nil formula", ErrInvalidRequest)
 	}
 	fp := cnf.Fingerprint(f)
-	key := fmt.Sprintf("%x|eps=%g|gj=%t|mc=%d|mp=%d|amc=%d",
-		fp, s.cfg.Epsilon, s.cfg.GaussJordan, s.cfg.MaxConflicts, s.cfg.MaxPropagations, s.cfg.ApproxMCRounds)
+	key := s.cacheKey(fp)
 	return s.cache.get(ctx, key, func(intr *atomic.Bool) func() (*prepared, error) {
 		// Synchronous part, on the missing requester: clone the formula
 		// so the flight (which may outlive this request) never shares
@@ -535,6 +578,30 @@ func (s *Service) rehydrate(key string, fp [32]byte) (*prepared, bool) {
 	}, true
 }
 
+// resolve routes a request to the formula path (prepare) or the delta
+// path (prepareDelta) by its shape, enforcing mutual exclusion between
+// the two. The third return reports the delta path.
+func (s *Service) resolve(ctx context.Context, ro *reqObs, f *cnf.Formula, base string, assumps []int) (*prepared, bool, bool, error) {
+	if base != "" {
+		if f != nil {
+			return nil, false, true, fmt.Errorf("%w: formula and base fingerprint are mutually exclusive", ErrInvalidRequest)
+		}
+		dsp := ro.tr.Root().StartSpan("delta")
+		prep, hit, err := s.prepareDelta(ctx, base, assumps, dsp)
+		dsp.SetInt("cache_hit", boolInt(hit))
+		dsp.End()
+		return prep, hit, true, err
+	}
+	if len(assumps) > 0 {
+		return nil, false, false, fmt.Errorf("%w: assumptions require a base fingerprint", ErrInvalidRequest)
+	}
+	psp := ro.tr.Root().StartSpan("prepare")
+	prep, hit, err := s.prepare(ctx, f, psp)
+	psp.SetInt("cache_hit", boolInt(hit))
+	psp.End()
+	return prep, hit, false, err
+}
+
 // Sample draws req.N almost-uniform witnesses. Cache hits skip straight
 // to sampling — no ApproxMC work happens on the hit path. Cancelling
 // ctx interrupts in-flight SAT search promptly and fails the request
@@ -565,10 +632,7 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 	defer finish()
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
-	psp := ro.tr.Root().StartSpan("prepare")
-	prep, hit, err := s.prepare(ctx, req.Formula, psp)
-	psp.SetInt("cache_hit", boolInt(hit))
-	psp.End()
+	prep, hit, isDelta, err := s.resolve(ctx, ro, req.Formula, req.Base, req.Assumptions)
 	if err != nil {
 		return nil, requestErr(ctx, err)
 	}
@@ -581,11 +645,37 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 	if workers > maxRequestWorkers {
 		workers = maxRequestWorkers
 	}
-	eng := parallel.NewEngineFromSetup(prep.setup, parallel.Options{
-		Workers:    workers,
-		MasterSeed: req.Seed,
-		Core:       core.Options{Solver: sat.Config{MaxConflicts: req.MaxConflicts}},
-	})
+	// Non-diverged delta entries sample through their base's session
+	// pool: warm solvers with the assumptions installed as standing
+	// Solve literals, no session build at all. Easy conditioned setups
+	// never touch a solver (index picks over the stored witness list),
+	// so they skip the checkout. Everything else — plain formulas,
+	// diverged deltas — builds per-request sessions as before.
+	var eng *parallel.Engine
+	var leased []*pooledSession
+	var pool *sessionPool
+	if prep.base != nil && !prep.setup.Easy() {
+		pool = s.poolFor(prep.base)
+		leased = pool.checkout(workers)
+		mc := req.MaxConflicts
+		if mc <= 0 {
+			mc = s.cfg.MaxConflicts
+		}
+		leases := make([]parallel.Lease, len(leased))
+		for i, ps := range leased {
+			ps.sess.SetAssumptions(prep.assumps)
+			ps.sess.SetBudgets(mc, s.cfg.MaxPropagations)
+			ps.intr.Store(false)
+			leases[i] = parallel.Lease{Sess: ps.sess, Intr: ps.intr}
+		}
+		eng = parallel.NewEngineWithSessions(prep.setup, leases, req.Seed)
+	} else {
+		eng = parallel.NewEngineFromSetup(prep.setup, parallel.Options{
+			Workers:    workers,
+			MasterSeed: req.Seed,
+			Core:       core.Options{Solver: sat.Config{MaxConflicts: req.MaxConflicts}},
+		})
+	}
 	// The rounds span parents the engine's per-round (and per-cell)
 	// spans via the context; the solver-work delta of exactly this
 	// request feeds the cumulative totals whether or not it succeeds.
@@ -593,6 +683,13 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 	roundsStart := time.Now()
 	ws, err := eng.SampleN(obs.WithSpan(ctx, rsp), req.N)
 	st := eng.Stats()
+	// Check in explicitly (not deferred): a panic unwinding past this
+	// point must not re-pool sessions whose state is unknown — the
+	// request-boundary recover turns it into ErrPanic and the leased
+	// sessions are simply dropped.
+	if leased != nil {
+		pool.checkin(leased, eng.Doomed())
+	}
 	s.work.add(st)
 	rsp.SetInt("rounds", st.Rounds())
 	rsp.SetInt("bsat_calls", st.BSATCalls)
@@ -606,6 +703,9 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 	prep.samples.Add(int64(len(ws)))
 	s.met.witnesses.Add(int64(len(ws)))
 	ro.witnesses = len(ws)
+	if isDelta {
+		s.delta.served.Add(1)
+	}
 	return &SampleResult{
 		Vars:        prep.setup.SamplingSet(),
 		Witnesses:   ws,
@@ -613,6 +713,7 @@ func (s *Service) Sample(ctx context.Context, req SampleRequest) (res *SampleRes
 		Fingerprint: prep.fingerprint,
 		Stats:       st,
 		TraceID:     ro.tr.ID(),
+		Delta:       isDelta,
 	}, nil
 }
 
@@ -645,18 +746,18 @@ func (s *Service) Count(ctx context.Context, req CountRequest) (res *CountResult
 	defer finish()
 	_ = faultpoint.Fire(faultpoint.RequestPanic) // chaos: request-boundary recover
 
-	psp := ro.tr.Root().StartSpan("prepare")
-	prep, hit, err := s.prepare(ctx, req.Formula, psp)
-	psp.SetInt("cache_hit", boolInt(hit))
-	psp.End()
+	prep, hit, isDelta, err := s.resolve(ctx, ro, req.Formula, req.Base, req.Assumptions)
 	if err != nil {
 		return nil, requestErr(ctx, err)
 	}
 	ro.fingerprint, ro.cacheHit = prep.fingerprint, hit
 	prep.requests.Add(1)
 	prep.counts.Add(1)
+	if isDelta {
+		s.delta.served.Add(1)
+	}
 	c, exact := prep.setup.WitnessCount()
-	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint, TraceID: ro.tr.ID()}, nil
+	return &CountResult{Count: c, Exact: exact, CacheHit: hit, Fingerprint: prep.fingerprint, TraceID: ro.tr.ID(), Delta: isDelta}, nil
 }
 
 // HealthState is the coarse health signal /healthz reports.
@@ -754,6 +855,7 @@ type Stats struct {
 	Outcomes  OutcomeStats   `json:"outcomes"`
 	Solver    SolverTotals   `json:"solver"`  // sampling-phase work across finished requests
 	Prepare   SolverTotals   `json:"prepare"` // preparation-flight work
+	Delta     DeltaStats     `json:"delta"`   // delta requests and the session-pool fleet
 	State     HealthState    `json:"state"`
 }
 
@@ -805,6 +907,7 @@ func (s *Service) Stats() Stats {
 		Outcomes:   s.out.snapshot(),
 		Solver:     s.work.snapshot(),
 		Prepare:    s.prep.snapshot(),
+		Delta:      s.deltaStats(),
 		State:      s.Health(),
 	}
 }

@@ -323,6 +323,12 @@ func (st *Store) writeEntry(name string, blob []byte) {
 	st.mu.Unlock()
 }
 
+// atimeFn is the access-time reader the eviction scan orders by. A
+// package variable so tests can force the ModTime fallback that
+// non-Linux platforms use (atime_other.go) — the recency ordering must
+// hold there too, because Get refreshes mtime alongside atime.
+var atimeFn = atimeOf
+
 // evictLocked removes least-recently-accessed entries until the live
 // set fits MaxBytes. Called with st.mu held, from the writer goroutine
 // only. Ties break lexicographically so the scan is deterministic.
@@ -339,7 +345,7 @@ func (st *Store) evictLocked() {
 	for name, size := range st.index {
 		c := cand{name: name, size: size}
 		if fi, err := os.Stat(filepath.Join(st.dir, name)); err == nil {
-			c.at = atimeOf(fi)
+			c.at = atimeFn(fi)
 		}
 		cands = append(cands, c)
 	}

@@ -46,6 +46,17 @@ type ServiceOptions struct {
 	// accessed entries are evicted beyond it (0 = unlimited).
 	StoreMaxBytes int64
 
+	// Delta sessions (SampleDelta / CountDelta).
+
+	// SessionPool caps idle pooled solver sessions kept per base formula
+	// for delta requests (default 8).
+	SessionPool int
+	// DeltaQWindow is the hash-width divergence window beyond which a
+	// conditioned delta entry is promoted to a first-class formula with
+	// its own sessions (default 3; negative promotes every non-easy
+	// delta).
+	DeltaQWindow int
+
 	// Overload safety (zero values keep the permissive behavior: no
 	// gate, no queue, no quotas, no deadlines).
 
@@ -116,6 +127,8 @@ func NewService(opts ServiceOptions) (*Service, error) {
 		CacheSize:       opts.CacheSize,
 		StoreDir:        opts.StoreDir,
 		StoreMaxBytes:   opts.StoreMaxBytes,
+		SessionPool:     opts.SessionPool,
+		DeltaQWindow:    opts.DeltaQWindow,
 		MaxInFlight:     opts.MaxInFlight,
 		MaxQueue:        opts.MaxQueue,
 		QueueWait:       opts.QueueWait,
@@ -148,6 +161,38 @@ func (s *Service) Sample(ctx context.Context, f *Formula, seed uint64, n int) ([
 		out[i] = Witness{a: a}
 	}
 	return out, nil
+}
+
+// SampleDelta draws n almost-uniform witnesses of base ∧ assumptions,
+// where base is the fingerprint (FormulaFingerprint) of a formula this
+// service has already prepared and assumptions are signed DIMACS
+// literals conjoined as unit clauses. The conditioned formula is
+// prepared on pooled warm sessions over the base — no DIMACS re-parse,
+// no solver rebuild — and the witnesses are bit-identical to Sample on
+// the conjoined formula with the same seed. An unknown base fails with
+// an error the HTTP transport maps to 404; empty assumptions sample
+// the base itself by fingerprint.
+func (s *Service) SampleDelta(ctx context.Context, base string, assumptions []int, seed uint64, n int) ([]Witness, error) {
+	res, err := s.inner.Sample(ctx, service.SampleRequest{Base: base, Assumptions: assumptions, N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Witness, len(res.Witnesses))
+	for i, a := range res.Witnesses {
+		out[i] = Witness{a: a}
+	}
+	return out, nil
+}
+
+// CountDelta returns the prepared witness count of base ∧ assumptions
+// (see SampleDelta for the delta request contract); the boolean is the
+// exactness flag of Count.
+func (s *Service) CountDelta(ctx context.Context, base string, assumptions []int) (*big.Int, bool, error) {
+	res, err := s.inner.Count(ctx, service.CountRequest{Base: base, Assumptions: assumptions})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Count, res.Exact, nil
 }
 
 // Count returns the prepared witness count of f projected onto its
@@ -199,6 +244,7 @@ type ServiceStats struct {
 	Outcomes  service.OutcomeStats   // finished requests by outcome
 	Solver    service.SolverTotals   // cumulative solver work of finished sampling
 	Prepare   service.SolverTotals   // cumulative solver work of preparation flights
+	Delta     service.DeltaStats     // delta requests and the session-pool fleet
 	State     string                 // "ok" | "overloaded" | "draining"
 }
 
@@ -209,6 +255,10 @@ type ServiceFormulaStats struct {
 	Requests    int64
 	Samples     int64
 	Counts      int64
+	// Delta marks entries prepared from a base under assumptions; Base
+	// is the base's fingerprint (empty for promoted diverged deltas).
+	Delta bool
+	Base  string
 }
 
 // Stats snapshots the cache and per-formula counters.
@@ -225,6 +275,7 @@ func (s *Service) Stats() ServiceStats {
 		Outcomes:  st.Outcomes,
 		Solver:    st.Solver,
 		Prepare:   st.Prepare,
+		Delta:     st.Delta,
 		State:     string(st.State),
 	}
 	for _, f := range st.Formulas {
@@ -234,6 +285,8 @@ func (s *Service) Stats() ServiceStats {
 			Requests:    f.Requests,
 			Samples:     f.Samples,
 			Counts:      f.Counts,
+			Delta:       f.Delta,
+			Base:        f.Base,
 		})
 	}
 	return out
